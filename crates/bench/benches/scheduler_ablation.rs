@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * cost of one scheduling cycle as the subscriber count grows (the
+//!   scheduler runs every 10 ms, so its cycle cost bounds how many
+//!   subscribers one RDN can host),
+//! * cost of the spare pass under each [`SparePolicy`],
+//! * cost of applying one accounting report.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gage_core::accounting::{SubscriberUsage, UsageReport};
+use gage_core::config::{SchedulerConfig, SparePolicy};
+use gage_core::node::{NodeScheduler, RpnId};
+use gage_core::resource::{Grps, ResourceVector};
+use gage_core::scheduler::RequestScheduler;
+use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
+
+fn build_scheduler(
+    subscribers: usize,
+    backlog: usize,
+    policy: SparePolicy,
+) -> RequestScheduler<u64> {
+    let mut registry = SubscriberRegistry::new();
+    for i in 0..subscribers {
+        registry
+            .register(format!("site{i}.example.com"), Grps(50.0))
+            .expect("unique hosts");
+    }
+    let cfg = SchedulerConfig {
+        spare_policy: policy,
+        queue_capacity: backlog.max(1),
+        ..Default::default()
+    };
+    let mut sched = RequestScheduler::new(&registry, cfg, NodeScheduler::new(0.3));
+    for _ in 0..8 {
+        sched
+            .nodes_mut()
+            .add_rpn(ResourceVector::new(1e6, 1e6, 12.5e6));
+    }
+    for s in 0..subscribers {
+        for r in 0..backlog {
+            let _ = sched.enqueue(SubscriberId(s as u32), r as u64);
+        }
+    }
+    sched
+}
+
+fn scheduling_cycle_vs_subscribers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_cycle_subscribers");
+    for &n in &[1usize, 10, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || build_scheduler(n, 4, SparePolicy::ProportionalToReservation),
+                |mut s| s.run_cycle(0.010),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn spare_policy_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_cycle_spare_policy");
+    for (name, policy) in [
+        ("reservation", SparePolicy::ProportionalToReservation),
+        ("demand", SparePolicy::ProportionalToDemand),
+        ("none", SparePolicy::None),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || build_scheduler(100, 16, policy),
+                |mut s| s.run_cycle(0.010),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn report_application(c: &mut Criterion) {
+    let report = UsageReport {
+        rpn: RpnId(3),
+        total: ResourceVector::generic_request() * 100.0,
+        outstanding_predicted: ResourceVector::ZERO,
+        per_subscriber: (0..100)
+            .map(|i| SubscriberUsage {
+                subscriber: SubscriberId(i),
+                actual: ResourceVector::generic_request(),
+                settled_predicted: ResourceVector::generic_request(),
+                completed: 1,
+            })
+            .collect(),
+    };
+    c.bench_function("on_report_100_subscribers", |b| {
+        b.iter_batched(
+            || build_scheduler(100, 0, SparePolicy::ProportionalToReservation),
+            |mut s| s.on_report(std::hint::black_box(&report)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    ablation,
+    scheduling_cycle_vs_subscribers,
+    spare_policy_cost,
+    report_application
+);
+criterion_main!(ablation);

@@ -1,0 +1,208 @@
+//! Table 3 — per-connection and per-packet overheads, measured on *this*
+//! repository's implementations (the paper measured its kernel module on a
+//! PIII-450/Celeron-600 testbed; absolute numbers differ, the relative
+//! structure — setup ≫ classification ≫ remap — should not).
+//!
+//! | column | paper | benchmark here |
+//! |---|---|---|
+//! | RDN connection setup | 29.3 µs | `rdn_conn_setup` |
+//! | RPN connection setup | 27.2 µs | `rpn_conn_setup` |
+//! | classification | 3.0 µs | `classification` |
+//! | packet forwarding | 7.0 µs | `packet_forwarding` |
+//! | remap incoming | 1.3 µs | `remap_incoming` |
+//! | remap outgoing | 4.6 µs | `remap_outgoing` |
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gage_core::classify::{classify_packet, PacketClass};
+use gage_core::conn_table::{ConnTable, Route};
+use gage_core::node::RpnId;
+use gage_core::resource::Grps;
+use gage_core::subscriber::SubscriberRegistry;
+use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
+use gage_net::endpoint::TcpEndpoint;
+use gage_net::eth::EthHeader;
+use gage_net::packet::Packet;
+use gage_net::splice::SpliceMap;
+use gage_net::SeqNum;
+
+fn client(i: u16) -> Endpoint {
+    Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(1024 + i))
+}
+
+fn cluster() -> Endpoint {
+    Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP)
+}
+
+fn rpn_ip() -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 2, 4)
+}
+
+/// RDN first-leg setup: receive a SYN off the wire, emulate the handshake
+/// (build + checksum + serialize the SYN-ACK), and track the pending
+/// connection.
+fn rdn_conn_setup(c: &mut Criterion) {
+    let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+    let syn_wire = Packet::syn(client(1), cluster(), SeqNum::new(77)).to_wire(eth);
+    c.bench_function("rdn_conn_setup", |b| {
+        b.iter_batched(
+            HashMap::<FourTuple, SeqNum>::new,
+            |mut pending| {
+                let (_eth, syn) = Packet::from_wire(&syn_wire).expect("valid SYN");
+                let isn = SeqNum::new(0xdead_beef);
+                pending.insert(syn.four_tuple(), isn);
+                let synack = Packet::syn_ack(cluster(), syn.src(), isn, syn.tcp.seq + 1);
+                synack.to_wire(eth)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// RPN second-leg setup: the local service manager's listener accepts the
+/// forwarded connection and builds the splice map.
+fn rpn_conn_setup(c: &mut Criterion) {
+    let syn = Packet::syn(client(1), Endpoint::new(rpn_ip(), Port::HTTP), SeqNum::new(5));
+    c.bench_function("rpn_conn_setup", |b| {
+        b.iter_batched(
+            || TcpEndpoint::listen(Endpoint::new(rpn_ip(), Port::HTTP), SeqNum::new(9_000)),
+            |mut ep| {
+                let mut out = Vec::new();
+                ep.on_segment(&syn, &mut out);
+                let map = SpliceMap::new(
+                    client(1),
+                    cluster(),
+                    rpn_ip(),
+                    SeqNum::new(1_000),
+                    ep.isn(),
+                );
+                (out, map)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Request classification: decide the packet category and resolve the
+/// subscriber from the Host.
+fn classification(c: &mut Criterion) {
+    let mut registry = SubscriberRegistry::new();
+    for i in 0..100 {
+        registry
+            .register(format!("site{i}.example.com"), Grps(10.0))
+            .expect("unique hosts");
+    }
+    let url = Packet::data(
+        client(1),
+        cluster(),
+        SeqNum::new(78),
+        SeqNum::new(1),
+        bytes::Bytes::from_static(
+            b"GET /dir00042/class1_3 HTTP/1.0\r\nHost: site42.example.com\r\nX-Size: 6144\r\n\r\n",
+        ),
+    );
+    c.bench_function("classification", |b| {
+        b.iter(|| {
+            let class = classify_packet(std::hint::black_box(&url), false);
+            match class {
+                PacketClass::UrlRequest(info) => registry.classify_host(&info.host),
+                _ => None,
+            }
+        })
+    });
+}
+
+/// Packet forwarding: connection-table lookup on a loaded table (plus the
+/// MAC rewrite decision).
+fn packet_forwarding(c: &mut Criterion) {
+    let mut table = ConnTable::new();
+    for i in 0..10_000u16 {
+        let t = FourTuple::new(
+            Endpoint::new(
+                Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8),
+                Port::new(2000 + (i % 30_000)),
+            ),
+            cluster(),
+        );
+        table.insert(
+            t,
+            Route {
+                rpn: RpnId(i % 8),
+                rpn_mac: MacAddr::from_node_id(i % 8),
+            },
+        );
+    }
+    let hot = FourTuple::new(
+        Endpoint::new(Ipv4Addr::new(10, 0, 19, 136), Port::new(2000 + 5000)),
+        cluster(),
+    );
+    assert!(table.contains(hot), "benchmark key present");
+    c.bench_function("packet_forwarding", |b| {
+        b.iter(|| table.lookup(std::hint::black_box(hot)))
+    });
+}
+
+fn splice_fixture() -> SpliceMap {
+    SpliceMap::new(
+        client(1),
+        cluster(),
+        rpn_ip(),
+        SeqNum::new(5_000),
+        SeqNum::new(80),
+    )
+}
+
+/// Remap of an incoming (client → RPN) packet: destination rewrite + ACK
+/// shift.
+fn remap_incoming(c: &mut Criterion) {
+    let map = splice_fixture();
+    let pkt = Packet::ack(client(1), cluster(), SeqNum::new(123), SeqNum::new(5_018));
+    c.bench_function("remap_incoming", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |mut p| {
+                let ok = map.remap_incoming(&mut p);
+                assert!(ok);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Remap of an outgoing (RPN → client) packet: source rewrite + sequence
+/// shift (the larger cost in the paper, as it sits on the data path).
+fn remap_outgoing(c: &mut Criterion) {
+    let map = splice_fixture();
+    let pkt = Packet::data(
+        Endpoint::new(rpn_ip(), Port::HTTP),
+        client(1),
+        SeqNum::new(81),
+        SeqNum::new(123),
+        bytes::Bytes::from_static(&[0u8; 1460]),
+    );
+    c.bench_function("remap_outgoing", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |mut p| {
+                let ok = map.remap_outgoing(&mut p);
+                assert!(ok);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    table3,
+    rdn_conn_setup,
+    rpn_conn_setup,
+    classification,
+    packet_forwarding,
+    remap_incoming,
+    remap_outgoing
+);
+criterion_main!(table3);

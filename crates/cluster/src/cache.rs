@@ -1,0 +1,159 @@
+//! A byte-capacity LRU file cache, modeling an RPN's page cache.
+//!
+//! Whether a request hits the cache decides whether it pays the disk model's
+//! I/O time — the main source of per-request resource variability under the
+//! SPECWeb99-shaped workload.
+
+use std::collections::HashMap;
+
+/// LRU cache keyed by file path with a total byte budget.
+///
+/// ```rust
+/// use gage_cluster::cache::LruCache;
+/// let mut c = LruCache::new(10_000);
+/// assert!(!c.access("/a", 6_000), "first access misses");
+/// assert!(c.access("/a", 6_000), "now cached");
+/// assert!(!c.access("/b", 6_000), "evicts /a to fit");
+/// assert!(!c.access("/a", 6_000), "/a was evicted");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// path -> (size, last-use stamp)
+    entries: HashMap<String, (u64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records an access to `path` of `size_bytes`. Returns `true` on hit.
+    /// On miss the file is brought in, evicting least-recently-used entries
+    /// as needed; files larger than the whole cache are never cached.
+    pub fn access(&mut self, path: &str, size_bytes: u64) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(path) {
+            entry.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if size_bytes > self.capacity_bytes {
+            return false;
+        }
+        while self.used_bytes + size_bytes > self.capacity_bytes {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, stamp))| stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some((sz, _)) = self.entries.remove(&victim) {
+                self.used_bytes -= sz;
+            }
+        }
+        self.entries.insert(path.to_string(), (size_bytes, self.clock));
+        self.used_bytes += size_bytes;
+        false
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]` (0 if no accesses yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_set_stays_resident() {
+        let mut c = LruCache::new(100);
+        c.access("/hot", 50);
+        for _ in 0..10 {
+            assert!(c.access("/hot", 50));
+        }
+        assert_eq!(c.stats(), (10, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        let mut c = LruCache::new(100);
+        c.access("/a", 40);
+        c.access("/b", 40);
+        c.access("/a", 40); // refresh a
+        c.access("/c", 40); // evicts b (LRU)
+        assert!(c.access("/a", 40), "a survived");
+        assert!(!c.access("/b", 40), "b was evicted");
+    }
+
+    #[test]
+    fn oversized_files_bypass_cache() {
+        let mut c = LruCache::new(100);
+        assert!(!c.access("/huge", 1_000));
+        assert!(!c.access("/huge", 1_000), "still not cached");
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = LruCache::new(100);
+        for i in 0..20 {
+            c.access(&format!("/f{i}"), 30);
+            assert!(c.used_bytes() <= 100);
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = LruCache::new(1000);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access("/x", 10);
+        c.access("/x", 10);
+        c.access("/x", 10);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

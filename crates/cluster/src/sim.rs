@@ -1,0 +1,1066 @@
+//! The simulated Gage cluster: clients, RDN, RPNs and the event loop.
+//!
+//! The message flow follows the paper's Figure 2. Per request:
+//!
+//! 1. the client sends a SYN to the cluster address; the RDN's handshake
+//!    emulation answers SYN-ACK (charging Table-3 setup cost),
+//! 2. the client sends the handshake ACK and the URL packet; the RDN
+//!    classifies the URL (3 µs), resolves the subscriber by Host, and
+//!    queues the request,
+//! 3. every 10 ms the request scheduler dispatches queued requests; each
+//!    dispatch installs a connection-table route and forwards the URL
+//!    packet to the chosen RPN (7 µs),
+//! 4. the RPN's local service manager sets up the second-leg connection
+//!    (27.2 µs), builds the [`SpliceMap`], and hands the request to the web
+//!    server model: a CPU burst, a disk I/O on cache miss, then NIC
+//!    serialization of the response,
+//! 5. the response flows *directly* to the client (sequence/address
+//!    remapped, 4.6 µs per data packet); client ACKs flow back through the
+//!    RDN bridge (7 µs each) to the RPN (1.3 µs remap each),
+//! 6. each accounting cycle the RPN rolls up per-process usage by charging
+//!    entity and reports it; the RDN reconciles balances and windows.
+//!
+//! Data transfer is aggregated (one event per response, with per-packet
+//! costs charged numerically) while the control path carries real
+//! [`Packet`] values through real classification, connection-table and
+//! splice-remap code.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use gage_core::accounting::{SubscriberUsage, UsageReport};
+use gage_core::classify::{classify_packet, PacketClass};
+use gage_core::conn_table::{ConnTable, Route};
+use gage_core::node::{NodeScheduler, RpnId};
+use gage_core::resource::{Grps, ResourceVector};
+use gage_core::scheduler::RequestScheduler;
+use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
+use gage_des::{Context, Model, SimDuration, SimTime, Simulation};
+use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
+use gage_net::packet::Packet;
+use gage_net::splice::SpliceMap;
+use gage_net::SeqNum;
+use gage_workload::Trace;
+
+use crate::cache::LruCache;
+use crate::metrics::{RdnMetrics, SubscriberMetrics};
+use crate::params::{ClusterParams, DiskPolicy, GageMode};
+use crate::process::{Pid, ProcessTable};
+use crate::server::FifoServer;
+
+/// One hosted site: its host name, reservation and offered workload.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Classification host name.
+    pub host: String,
+    /// Reserved GRPS.
+    pub reservation: Grps,
+    /// The requests its clients will issue.
+    pub trace: Trace,
+}
+
+/// Extra information the RDN attaches to a dispatched URL packet so the
+/// RPN's local service manager can build the splice and echo predictions.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct DispatchMeta {
+    sub: SubscriberId,
+    predicted: ResourceVector,
+    rdn_isn: SeqNum,
+    path: String,
+    size: u64,
+}
+
+/// A request sitting in an RDN subscriber queue.
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    conn: FourTuple,
+    url_pkt: Packet,
+    rdn_isn: SeqNum,
+    path: String,
+    size: u64,
+}
+
+/// Cluster events (public only because [`World`] implements
+/// [`Model<Event = Ev>`]; not part of the supported API).
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum Ev {
+    /// A client issues trace entry `idx` of subscriber `sub`.
+    Issue { sub: u32, idx: u32 },
+    /// A packet reaches the RDN.
+    RdnPacket { pkt: Packet },
+    /// A packet (with dispatch metadata if newly dispatched) reaches an RPN.
+    RpnPacket {
+        rpn: u16,
+        pkt: Packet,
+        meta: Option<DispatchMeta>,
+    },
+    /// A packet reaches a client (SYN-ACK).
+    ClientPacket { sub: u32, pkt: Packet },
+    /// A complete response reaches a client.
+    ResponseArrive { sub: u32, conn: FourTuple },
+    /// The RDN scheduler's 10 ms tick.
+    SchedTick,
+    /// An RPN's accounting-cycle tick.
+    AcctTick { rpn: u16 },
+    /// An accounting report reaches the RDN.
+    Report { report: UsageReport },
+    /// Head of an RPN's CPU queue finished.
+    CpuDone { rpn: u16 },
+    /// Head of an RPN's disk queue finished.
+    DiskDone { rpn: u16 },
+    /// Head of an RPN's NIC queue finished.
+    NicDone { rpn: u16 },
+    /// Fail-stop crash of an RPN (failure injection).
+    CrashRpn { rpn: u16 },
+}
+
+/// An in-service request on an RPN.
+#[derive(Debug)]
+struct ActiveReq {
+    sub: SubscriberId,
+    predicted: ResourceVector,
+    #[allow(dead_code)] // exercised by tests; kept for observability
+    splice: SpliceMap,
+    size: u64,
+    disk_us: f64,
+    cpu_us: f64,
+    net_bytes: f64,
+    /// Process the usage is charged to: the subscriber's worker, or a
+    /// forked CGI child for dynamic requests.
+    pid: Pid,
+    /// True if `pid` is a one-shot CGI child to reap on completion.
+    reap_pid: bool,
+}
+
+/// Per-subscriber completion accumulator between accounting reports.
+#[derive(Debug, Clone, Copy, Default)]
+struct CycleAccum {
+    settled_predicted: ResourceVector,
+    completed: u32,
+}
+
+#[derive(Debug)]
+struct Rpn {
+    ip: Ipv4Addr,
+    mac: MacAddr,
+    cpu: FifoServer<FourTuple>,
+    disk: FifoServer<FourTuple>,
+    nic: FifoServer<FourTuple>,
+    cache: Option<LruCache>,
+    processes: ProcessTable,
+    workers: Vec<Pid>,
+    active: HashMap<FourTuple, ActiveReq>,
+    isn_counter: u32,
+    cycle: Vec<CycleAccum>,
+    total_cycle_usage: ResourceVector,
+    completed_requests: u64,
+    /// Multiplier on this node's timer periods (1.0 ± a few hundred ppm).
+    clock_skew: f64,
+}
+
+#[derive(Debug)]
+struct ClientSide {
+    /// Outstanding requests keyed by their client→cluster tuple.
+    pending: HashMap<FourTuple, SimTime>,
+    issued: u64,
+}
+
+/// The simulation world.
+#[derive(Debug)]
+pub struct World {
+    params: ClusterParams,
+    registry: SubscriberRegistry,
+    traces: Vec<Trace>,
+    cluster_ep: Endpoint,
+    scheduler: RequestScheduler<PendingRequest>,
+    conn_table: ConnTable,
+    pending_handshakes: HashMap<FourTuple, SeqNum>,
+    rpns: Vec<Rpn>,
+    clients: Vec<ClientSide>,
+    /// What each outstanding connection is requesting: (path, size, host).
+    client_url: HashMap<FourTuple, (String, u64, String)>,
+    rr_next: usize,
+    isn_counter: u32,
+    /// Per-subscriber measurement series.
+    pub metrics: Vec<SubscriberMetrics>,
+    /// RDN measurement state.
+    pub rdn_metrics: RdnMetrics,
+    /// Requests dropped because the Host was unknown.
+    pub unknown_host_drops: u64,
+    /// Lifetime dispatches funded by the reserved pass.
+    pub reserved_dispatches: u64,
+    /// Lifetime dispatches funded by the spare pass.
+    pub spare_dispatches: u64,
+    /// CPU busy time of each secondary RDN (handshake offload).
+    pub secondary_busy: Vec<gage_des::stats::BusyTracker>,
+    secondary_rr: usize,
+    /// When each RPN's last report arrived (watchdog input).
+    last_report: Vec<SimTime>,
+    /// Fail-stopped RPNs.
+    dead_rpns: Vec<bool>,
+    /// Reports dropped by the injected loss process.
+    pub lost_reports: u64,
+}
+
+impl World {
+    fn hop(&self) -> SimDuration {
+        self.params.network.hop_latency
+    }
+
+    /// Endpoint a subscriber's client uses for its `n`-th request. Each
+    /// subscriber owns a /24 of client addresses so the ephemeral-port space
+    /// never collides within a run.
+    fn client_endpoint(&self, sub: u32, n: u64) -> Endpoint {
+        let ip_idx = ((n / 60_000) % 250) as u8;
+        let port = 1_024 + (n % 60_000) as u16;
+        Endpoint::new(
+            Ipv4Addr::new(10, 10 + (sub / 250) as u8, (sub % 250) as u8, ip_idx + 2),
+            Port::new(port),
+        )
+    }
+
+    fn response_packet_counts(&self, size: u64) -> (u64, u64) {
+        let data_pkts = (size + 200).div_ceil(self.params.network.mss as u64).max(1);
+        (data_pkts, data_pkts) // one ACK per data packet, per the paper
+    }
+
+    fn response_wire_bytes(&self, size: u64) -> f64 {
+        let (data_pkts, _) = self.response_packet_counts(size);
+        (size + 200 + data_pkts * 54) as f64
+    }
+
+    /// Charges RDN CPU for handling `packets` packets' interrupts plus
+    /// `op_us` of protocol work at `now`.
+    fn charge_rdn(&mut self, now: SimTime, packets: u64, op_us: f64) {
+        let rate = self.rdn_metrics.recent_packet_rate(now);
+        let int_us = self.params.interrupts.cost_us(rate) * packets as f64;
+        for _ in 0..packets {
+            self.rdn_metrics.packets.record(now, 1.0);
+        }
+        self.rdn_metrics.packet_count += packets;
+        self.rdn_metrics
+            .busy
+            .add(now, SimDuration::from_secs_f64((op_us + int_us) / 1e6));
+    }
+
+    // ---- client ----
+
+    fn on_issue(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, idx: u32) {
+        let entry = &self.traces[sub as usize].entries[idx as usize];
+        let url = (entry.path.clone(), entry.size_bytes, entry.host.clone());
+        let n = self.clients[sub as usize].issued;
+        self.clients[sub as usize].issued += 1;
+        let client_ep = self.client_endpoint(sub, n);
+        let conn = FourTuple::new(client_ep, self.cluster_ep);
+        self.clients[sub as usize].pending.insert(conn, ctx.now());
+        self.client_url.insert(conn, url);
+        self.metrics[sub as usize].offered.record(ctx.now(), 1.0);
+        self.isn_counter = self.isn_counter.wrapping_add(64_223);
+        let syn = Packet::syn(client_ep, self.cluster_ep, SeqNum::new(self.isn_counter));
+        let hop = self.hop();
+        ctx.schedule_in(hop, Ev::RdnPacket { pkt: syn });
+    }
+
+    fn on_client_packet(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, pkt: Packet) {
+        // Only SYN-ACKs reach clients as discrete packets; reply with the
+        // handshake ACK followed by the URL request.
+        if !(pkt.is_syn() && pkt.is_ack()) {
+            return;
+        }
+        let client_ep = pkt.dst();
+        let conn = FourTuple::new(client_ep, self.cluster_ep);
+        if !self.clients[sub as usize].pending.contains_key(&conn) {
+            return; // stale
+        }
+        let client_isn = pkt.tcp.ack - 1u32;
+        let ack = Packet::ack(client_ep, self.cluster_ep, pkt.tcp.ack, pkt.tcp.seq + 1);
+        let Some((path, size, host)) = self.client_url.get(&conn).cloned() else {
+            return; // stale handshake for a forgotten request
+        };
+        let http = format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nX-Size: {size}\r\n\r\n");
+        let url = Packet::data(
+            client_ep,
+            self.cluster_ep,
+            client_isn + 1,
+            pkt.tcp.seq + 1,
+            http.into_bytes().into(),
+        );
+        let hop = self.hop();
+        ctx.schedule_in(hop, Ev::RdnPacket { pkt: ack });
+        ctx.schedule_in(hop, Ev::RdnPacket { pkt: url });
+    }
+
+    fn on_response_arrive(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
+        if let Some(issued) = self.clients[sub as usize].pending.remove(&conn) {
+            let latency = ctx.now().saturating_since(issued);
+            self.metrics[sub as usize].served.record(ctx.now(), 1.0);
+            self.metrics[sub as usize].latency.record(latency);
+        }
+        self.client_url.remove(&conn);
+    }
+
+    // ---- RDN ----
+
+    fn on_rdn_packet(&mut self, ctx: &mut Context<'_, Ev>, pkt: Packet) {
+        // Established connection? Bridge it straight to the owning RPN.
+        if let Some(route) = self.conn_table.lookup(pkt.four_tuple()) {
+            self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.forwarding_us);
+            let hop = self.hop();
+            ctx.schedule_in(
+                hop,
+                Ev::RpnPacket {
+                    rpn: route.rpn.0,
+                    pkt,
+                    meta: None,
+                },
+            );
+            return;
+        }
+        match classify_packet(&pkt, false) {
+            PacketClass::Handshake => {
+                if pkt.is_syn() && !pkt.is_ack() {
+                    // Handshake emulation: answer SYN-ACK ourselves. With an
+                    // asymmetric front-end cluster the setup CPU work moves
+                    // to a secondary RDN; the primary still sees the packets.
+                    if self.secondary_busy.is_empty() {
+                        self.charge_rdn(ctx.now(), 2, self.params.rdn_costs.conn_setup_us);
+                    } else {
+                        self.charge_rdn(ctx.now(), 2, 0.0);
+                        let i = self.secondary_rr % self.secondary_busy.len();
+                        self.secondary_rr += 1;
+                        self.secondary_busy[i].add(
+                            ctx.now(),
+                            SimDuration::from_secs_f64(
+                                self.params.rdn_costs.conn_setup_us / 1e6,
+                            ),
+                        );
+                    }
+                    self.isn_counter = self.isn_counter.wrapping_add(88_651);
+                    let rdn_isn = SeqNum::new(self.isn_counter);
+                    self.pending_handshakes.insert(pkt.four_tuple(), rdn_isn);
+                    let synack =
+                        Packet::syn_ack(self.cluster_ep, pkt.src(), rdn_isn, pkt.tcp.seq + 1);
+                    let sub = self.subscriber_of_client(pkt.src());
+                    let hop = self.hop();
+                    if let Some(sub) = sub {
+                        ctx.schedule_in(
+                            hop,
+                            Ev::ClientPacket {
+                                sub,
+                                pkt: synack,
+                            },
+                        );
+                    }
+                } else {
+                    // The final handshake ACK: already costed with the SYN.
+                    self.charge_rdn(ctx.now(), 1, 0.0);
+                }
+            }
+            PacketClass::UrlRequest(info) => {
+                self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.classification_us);
+                let Some(sub) = self.registry.classify_host(&info.host) else {
+                    self.unknown_host_drops += 1;
+                    return;
+                };
+                let size = x_size_hint(&pkt).unwrap_or(6 * 1024);
+                let conn = pkt.four_tuple();
+                let rdn_isn = self
+                    .pending_handshakes
+                    .remove(&conn)
+                    .unwrap_or(SeqNum::new(1));
+                let req = PendingRequest {
+                    conn,
+                    url_pkt: pkt,
+                    rdn_isn,
+                    path: info.path,
+                    size,
+                };
+                match self.params.mode {
+                    GageMode::Enabled => {
+                        if self.scheduler.enqueue(sub, req).is_err() {
+                            self.metrics[sub.0 as usize].dropped.record(ctx.now(), 1.0);
+                        }
+                    }
+                    GageMode::Bypass => {
+                        let rpn = RpnId((self.rr_next % self.rpns.len()) as u16);
+                        self.rr_next += 1;
+                        self.dispatch_to_rpn(ctx, sub, rpn, req, ResourceVector::ZERO);
+                    }
+                }
+            }
+            PacketClass::Other => {
+                self.charge_rdn(ctx.now(), 1, 0.0);
+            }
+        }
+    }
+
+    fn dispatch_to_rpn(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        sub: SubscriberId,
+        rpn: RpnId,
+        req: PendingRequest,
+        predicted: ResourceVector,
+    ) {
+        self.conn_table.insert(
+            req.conn,
+            Route {
+                rpn,
+                rpn_mac: self.rpns[rpn.0 as usize].mac,
+            },
+        );
+        self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.forwarding_us);
+        let meta = DispatchMeta {
+            sub,
+            predicted,
+            rdn_isn: req.rdn_isn,
+            path: req.path,
+            size: req.size,
+        };
+        let hop = self.hop();
+        ctx.schedule_in(
+            hop,
+            Ev::RpnPacket {
+                rpn: rpn.0,
+                pkt: req.url_pkt,
+                meta: Some(meta),
+            },
+        );
+    }
+
+    fn on_sched_tick(&mut self, ctx: &mut Context<'_, Ev>) {
+        // Watchdog: a node that has missed several accounting cycles is
+        // declared down and excluded from dispatch (its in-flight work is
+        // written off).
+        let deadline = self.params.accounting_cycle.mul_f64(3.5);
+        for r in 0..self.last_report.len() {
+            let rpn = RpnId(r as u16);
+            if self.scheduler.nodes().is_up(rpn)
+                && ctx.now().saturating_since(self.last_report[r]) > deadline + self.params.accounting_cycle
+            {
+                self.scheduler.nodes_mut().set_up(rpn, false);
+            }
+        }
+        let cycle = self.params.scheduler.scheduling_cycle_secs;
+        let dispatches = self.scheduler.run_cycle(cycle);
+        for d in dispatches {
+            if d.funded_by_spare {
+                self.spare_dispatches += 1;
+            } else {
+                self.reserved_dispatches += 1;
+            }
+            self.dispatch_to_rpn(ctx, d.subscriber, d.rpn, d.request, d.predicted);
+        }
+        ctx.schedule_in(SimDuration::from_secs_f64(cycle), Ev::SchedTick);
+    }
+
+    fn on_report(&mut self, ctx: &mut Context<'_, Ev>, report: UsageReport) {
+        let r = report.rpn.0 as usize;
+        if r < self.last_report.len() {
+            self.last_report[r] = ctx.now();
+            // A report from a node the watchdog had written off means it is
+            // back (not produced by the current fail-stop model, but the
+            // recovery path is cheap and symmetrical).
+            if !self.scheduler.nodes().is_up(report.rpn) && !self.dead_rpns[r] {
+                self.scheduler.nodes_mut().set_up(report.rpn, true);
+            }
+        }
+        for line in &report.per_subscriber {
+            let i = line.subscriber.0 as usize;
+            if i < self.metrics.len() {
+                self.metrics[i]
+                    .observed_usage
+                    .record(ctx.now(), line.actual.generic_equivalents());
+                self.metrics[i]
+                    .observed_completions
+                    .record(ctx.now(), f64::from(line.completed));
+            }
+        }
+        self.scheduler.on_report(&report);
+    }
+
+    // ---- RPN ----
+
+    fn on_rpn_packet(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        rpn_idx: u16,
+        pkt: Packet,
+        meta: Option<DispatchMeta>,
+    ) {
+        if self.dead_rpns[rpn_idx as usize] {
+            return; // packets to a crashed node vanish
+        }
+        let Some(meta) = meta else {
+            // Bridged packet on an established connection (stray ACK/FIN
+            // after completion): remap and drop. Costs for the bulk ACK
+            // stream are charged at response time.
+            return;
+        };
+        let speed = self.params.rpn_speed;
+        let (data_pkts, ack_pkts) = self.response_packet_counts(meta.size);
+        let gage_overhead_us = match self.params.mode {
+            GageMode::Enabled => self.params.gage_rpn_overhead_us(data_pkts, ack_pkts),
+            GageMode::Bypass => 0.0,
+        };
+        // CGI-style dynamic requests fork a child of the subscriber's
+        // worker and burn a multiple of the static CPU cost; the child's
+        // usage rolls up to the charging entity through the process tree.
+        let dynamic = self
+            .params
+            .dynamic
+            .as_ref()
+            .filter(|d| meta.path.starts_with(&d.path_prefix))
+            .map(|d| d.cpu_multiplier);
+        let service_cpu_us = self.params.service.cpu_us(meta.size) * dynamic.unwrap_or(1.0);
+        let cpu_us = (service_cpu_us + gage_overhead_us) / speed;
+
+        let rpn = &mut self.rpns[rpn_idx as usize];
+        rpn.isn_counter = rpn.isn_counter.wrapping_add(104_729);
+        let splice = SpliceMap::new(
+            pkt.src(),
+            self.cluster_ep,
+            rpn.ip,
+            meta.rdn_isn,
+            SeqNum::new(rpn.isn_counter),
+        );
+        let disk_us = match self.params.service.disk {
+            DiskPolicy::None => 0.0,
+            DiskPolicy::PerRequest { us } => us,
+            DiskPolicy::Cache {
+                seek_us,
+                transfer_bytes_per_sec,
+                ..
+            } => {
+                let cache = rpn.cache.as_mut().expect("cache policy has a cache");
+                if cache.access(&meta.path, meta.size) {
+                    0.0
+                } else {
+                    seek_us + meta.size as f64 / transfer_bytes_per_sec * 1e6
+                }
+            }
+        };
+        let worker = rpn.workers[meta.sub.0 as usize];
+        let (pid, reap_pid) = if dynamic.is_some() {
+            match rpn.processes.spawn_child(worker) {
+                Some(child) => (child, true),
+                None => (worker, false),
+            }
+        } else {
+            (worker, false)
+        };
+        let conn = pkt.four_tuple();
+        rpn.active.insert(
+            conn,
+            ActiveReq {
+                sub: meta.sub,
+                predicted: meta.predicted,
+                splice,
+                size: meta.size,
+                disk_us,
+                cpu_us: cpu_us * speed, // account in reference-machine µs
+                net_bytes: 0.0,
+                pid,
+                reap_pid,
+            },
+        );
+        let fin = rpn
+            .cpu
+            .enqueue(ctx.now(), SimDuration::from_secs_f64(cpu_us / 1e6), conn);
+        ctx.schedule_at(fin, Ev::CpuDone { rpn: rpn_idx });
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
+        if self.dead_rpns[rpn_idx as usize] {
+            return;
+        }
+        let rpn = &mut self.rpns[rpn_idx as usize];
+        let Some(conn) = rpn.cpu.complete() else {
+            return;
+        };
+        let Some(req) = rpn.active.get(&conn) else {
+            return;
+        };
+        if req.disk_us > 0.0 {
+            let fin = rpn.disk.enqueue(
+                ctx.now(),
+                SimDuration::from_secs_f64(req.disk_us / 1e6),
+                conn,
+            );
+            ctx.schedule_at(fin, Ev::DiskDone { rpn: rpn_idx });
+        } else {
+            self.start_nic_send(ctx, rpn_idx, conn);
+        }
+    }
+
+    fn on_disk_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
+        if self.dead_rpns[rpn_idx as usize] {
+            return;
+        }
+        let rpn = &mut self.rpns[rpn_idx as usize];
+        let Some(conn) = rpn.disk.complete() else {
+            return;
+        };
+        self.start_nic_send(ctx, rpn_idx, conn);
+    }
+
+    fn start_nic_send(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, conn: FourTuple) {
+        let wire = {
+            let rpn = &self.rpns[rpn_idx as usize];
+            let Some(req) = rpn.active.get(&conn) else {
+                return;
+            };
+            self.response_wire_bytes(req.size)
+        };
+        let service =
+            SimDuration::from_secs_f64(wire / self.params.network.rpn_egress_bytes_per_sec);
+        let rpn = &mut self.rpns[rpn_idx as usize];
+        if let Some(req) = rpn.active.get_mut(&conn) {
+            req.net_bytes = wire;
+        }
+        let fin = rpn.nic.enqueue(ctx.now(), service, conn);
+        ctx.schedule_at(fin, Ev::NicDone { rpn: rpn_idx });
+    }
+
+    fn on_nic_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
+        if self.dead_rpns[rpn_idx as usize] {
+            return;
+        }
+        let (conn, req) = {
+            let rpn = &mut self.rpns[rpn_idx as usize];
+            let Some(conn) = rpn.nic.complete() else {
+                return;
+            };
+            let Some(req) = rpn.active.remove(&conn) else {
+                return;
+            };
+            (conn, req)
+        };
+        let sub = req.sub;
+        let actual = ResourceVector::new(req.cpu_us, req.disk_us, req.net_bytes);
+
+        // Charge the owning process (the worker, or the CGI child for
+        // dynamic requests) — per-process accounting, paper §3.5.
+        {
+            let rpn = &mut self.rpns[rpn_idx as usize];
+            rpn.processes.charge(req.pid, actual);
+            if req.reap_pid {
+                rpn.processes.exit(req.pid);
+            }
+            let acc = &mut rpn.cycle[sub.0 as usize];
+            acc.settled_predicted += req.predicted;
+            acc.completed += 1;
+            rpn.total_cycle_usage += actual;
+            rpn.completed_requests += 1;
+        }
+
+        // The client's ACK/FIN stream transits the RDN bridge.
+        let (data_pkts, ack_pkts) = self.response_packet_counts(req.size);
+        let _ = data_pkts;
+        self.charge_rdn(
+            ctx.now(),
+            ack_pkts + 1,
+            self.params.rdn_costs.forwarding_us * (ack_pkts + 1) as f64,
+        );
+
+        self.conn_table.remove(conn);
+        let hop = self.hop();
+        ctx.schedule_in(
+            hop,
+            Ev::ResponseArrive {
+                sub: sub.0,
+                conn,
+            },
+        );
+    }
+
+    fn on_acct_tick(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
+        if self.dead_rpns[rpn_idx as usize] {
+            return; // crashed nodes stop reporting (and stay stopped)
+        }
+        let report = {
+            let rpn = &mut self.rpns[rpn_idx as usize];
+            let rollup = rpn.processes.rollup();
+            let mut per_subscriber = Vec::new();
+            for (i, acc) in rpn.cycle.iter_mut().enumerate() {
+                let sub = SubscriberId(i as u32);
+                let actual = rollup.get(&sub).copied().unwrap_or(ResourceVector::ZERO);
+                if acc.completed == 0 && actual == ResourceVector::ZERO {
+                    continue;
+                }
+                per_subscriber.push(SubscriberUsage {
+                    subscriber: sub,
+                    actual,
+                    settled_predicted: acc.settled_predicted,
+                    completed: acc.completed,
+                });
+                *acc = CycleAccum::default();
+            }
+            let total = rpn.total_cycle_usage;
+            rpn.total_cycle_usage = ResourceVector::ZERO;
+            // The node reports its own remaining predicted backlog so the
+            // RDN's outstanding estimate re-anchors to ground truth.
+            let outstanding_predicted = rpn
+                .active
+                .values()
+                .map(|r| r.predicted)
+                .sum::<ResourceVector>();
+            UsageReport {
+                rpn: RpnId(rpn_idx),
+                total,
+                outstanding_predicted,
+                per_subscriber,
+            }
+        };
+        let hop = self.hop();
+        let loss = self.params.report_loss_prob;
+        if loss > 0.0 && ctx.rng().chance(loss) {
+            self.lost_reports += 1;
+        } else {
+            ctx.schedule_in(hop, Ev::Report { report });
+        }
+        // Each node's periodic timer runs on its own crystal: a fixed skew
+        // of a few hundred ppm. Reports therefore stay clustered across the
+        // cluster (the nodes started together) while the cluster-wide phase
+        // drifts slowly relative to measurement windows, as on real
+        // hardware.
+        let skew = self.rpns[rpn_idx as usize].clock_skew;
+        // Kernel timers also fire with small scheduling noise (±1% of the
+        // period here); without it the perfectly-periodic reports alias
+        // against averaging windows that are exact multiples of the cycle.
+        let noise = 0.99 + 0.02 * ctx.rng().f64();
+        ctx.schedule_in(
+            self.params.accounting_cycle.mul_f64(skew * noise),
+            Ev::AcctTick { rpn: rpn_idx },
+        );
+    }
+
+    /// Debug view: per-RPN load fractions and per-subscriber (backlog,
+    /// balance, predicted) from the embedded scheduler.
+    pub fn scheduler_snapshot(&self) -> (Vec<f64>, Vec<(usize, ResourceVector, ResourceVector)>) {
+        let loads = self
+            .scheduler
+            .nodes()
+            .rpn_ids()
+            .map(|id| self.scheduler.nodes().load_fraction(id))
+            .collect();
+        let subs = (0..self.registry.len())
+            .map(|i| {
+                let sub = SubscriberId(i as u32);
+                (
+                    self.scheduler.backlog(sub),
+                    self.scheduler.balance(sub),
+                    self.scheduler.predicted_usage(sub),
+                )
+            })
+            .collect();
+        (loads, subs)
+    }
+
+    /// Debug view: per-RPN (active requests, cpu queue, disk queue, nic
+    /// queue) occupancy.
+    pub fn rpn_occupancy(&self) -> Vec<(usize, usize, usize, usize)> {
+        self.rpns
+            .iter()
+            .map(|r| {
+                (
+                    r.active.len(),
+                    r.cpu.in_flight(),
+                    r.disk.in_flight(),
+                    r.nic.in_flight(),
+                )
+            })
+            .collect()
+    }
+
+    fn subscriber_of_client(&self, client: Endpoint) -> Option<u32> {
+        // Client addressing encodes the subscriber (see client_endpoint).
+        let o = client.ip.octets();
+        if o[0] != 10 || o[1] < 10 {
+            return None;
+        }
+        let sub = (o[1] as u32 - 10) * 250 + o[2] as u32;
+        (sub < self.registry.len() as u32).then_some(sub)
+    }
+}
+
+/// Extracts the `X-Size` response-size hint the simulated clients embed in
+/// their requests (the trace knows the true response size; the simulated
+/// server honours it).
+fn x_size_hint(pkt: &Packet) -> Option<u64> {
+    let text = std::str::from_utf8(&pkt.payload).ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("X-Size: "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        match event {
+            Ev::Issue { sub, idx } => self.on_issue(ctx, sub, idx),
+            Ev::RdnPacket { pkt } => self.on_rdn_packet(ctx, pkt),
+            Ev::RpnPacket { rpn, pkt, meta } => self.on_rpn_packet(ctx, rpn, pkt, meta),
+            Ev::ClientPacket { sub, pkt } => self.on_client_packet(ctx, sub, pkt),
+            Ev::ResponseArrive { sub, conn } => self.on_response_arrive(ctx, sub, conn),
+            Ev::SchedTick => self.on_sched_tick(ctx),
+            Ev::AcctTick { rpn } => self.on_acct_tick(ctx, rpn),
+            Ev::Report { report } => self.on_report(ctx, report),
+            Ev::CrashRpn { rpn } => {
+                // Fail-stop: the node vanishes. The RDN only learns of it
+                // when the report watchdog fires; until then it keeps
+                // dispatching into the void (those requests are lost).
+                self.dead_rpns[rpn as usize] = true;
+                self.rpns[rpn as usize].active.clear();
+            }
+            Ev::CpuDone { rpn } => self.on_cpu_done(ctx, rpn),
+            Ev::DiskDone { rpn } => self.on_disk_done(ctx, rpn),
+            Ev::NicDone { rpn } => self.on_nic_done(ctx, rpn),
+        }
+    }
+}
+
+/// Builder + runner for a simulated cluster experiment.
+#[derive(Debug)]
+pub struct ClusterSim {
+    sim: Simulation<World>,
+}
+
+impl ClusterSim {
+    /// Builds a cluster hosting `sites` under `params`, with all client
+    /// traffic pre-scheduled from the site traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.rpn_count` is zero or a site host is duplicated.
+    pub fn new(mut params: ClusterParams, sites: Vec<SiteSpec>, seed: u64) -> Self {
+        assert!(params.rpn_count > 0, "need at least one RPN");
+        // The in-flight window must cover the feedback delay (a
+        // bandwidth-delay-product argument): with a window shorter than the
+        // accounting cycle, dispatch is capped at window/cycle regardless
+        // of actual capacity.
+        let min_lookahead = params.accounting_cycle.as_secs_f64() * 1.2;
+        if params.scheduler.node_lookahead_secs < min_lookahead {
+            params.scheduler.node_lookahead_secs = min_lookahead;
+        }
+        let mut registry = SubscriberRegistry::new();
+        for s in &sites {
+            registry
+                .register(s.host.clone(), s.reservation)
+                .expect("duplicate site host");
+        }
+        let mut nodes = NodeScheduler::new(params.scheduler.node_lookahead_secs);
+        let rpn_capacity = ResourceVector::new(
+            1e6 * params.rpn_speed,
+            1e6,
+            params.network.rpn_egress_bytes_per_sec,
+        );
+        let mut rpns = Vec::new();
+        for i in 0..params.rpn_count {
+            nodes.add_rpn(rpn_capacity);
+            let mut processes = ProcessTable::new();
+            let workers = (0..sites.len())
+                .map(|s| processes.launch_entity_root(SubscriberId(s as u32)))
+                .collect();
+            let cache = match params.service.disk {
+                DiskPolicy::Cache { capacity_bytes, .. } => Some(LruCache::new(capacity_bytes)),
+                _ => None,
+            };
+            rpns.push(Rpn {
+                ip: Ipv4Addr::new(10, 0, 2, (i + 1) as u8),
+                mac: MacAddr::from_node_id((i + 1) as u16),
+                cpu: FifoServer::new(),
+                disk: FifoServer::new(),
+                nic: FifoServer::new(),
+                cache,
+                processes,
+                workers,
+                active: HashMap::new(),
+                isn_counter: 7,
+                cycle: vec![CycleAccum::default(); sites.len()],
+                total_cycle_usage: ResourceVector::ZERO,
+                completed_requests: 0,
+                // Deterministic per-node crystal skew in ±200 ppm.
+                clock_skew: {
+                    let h = seed
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(i as u64 * 1_442_695_040_888_963_407);
+                    let ppm = ((h >> 33) % 401) as f64 - 200.0;
+                    1.0 + ppm * 1e-6
+                },
+            });
+        }
+        let scheduler = RequestScheduler::new(&registry, params.scheduler, nodes);
+        let n_sites = sites.len();
+        let world = World {
+            cluster_ep: Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+            scheduler,
+            conn_table: ConnTable::new(),
+            pending_handshakes: HashMap::new(),
+            rpns,
+            clients: (0..n_sites)
+                .map(|_| ClientSide {
+                    pending: HashMap::new(),
+                    issued: 0,
+                })
+                .collect(),
+            rr_next: 0,
+            isn_counter: 1,
+            metrics: (0..n_sites).map(|_| SubscriberMetrics::default()).collect(),
+            rdn_metrics: RdnMetrics::default(),
+            unknown_host_drops: 0,
+            reserved_dispatches: 0,
+            spare_dispatches: 0,
+            secondary_busy: (0..params.secondary_rdns)
+                .map(|_| gage_des::stats::BusyTracker::new(crate::metrics::METRIC_BIN))
+                .collect(),
+            secondary_rr: 0,
+            last_report: vec![SimTime::ZERO; params.rpn_count],
+            dead_rpns: vec![false; params.rpn_count],
+            lost_reports: 0,
+            client_url: HashMap::new(),
+            traces: sites.iter().map(|s| s.trace.clone()).collect(),
+            registry,
+            params,
+        };
+        let mut sim = Simulation::new(world, seed);
+        // Pre-schedule all trace issues and the periodic ticks.
+        for (s, site) in sites.iter().enumerate() {
+            for (i, e) in site.trace.entries.iter().enumerate() {
+                sim.schedule_at(
+                    SimTime::from_nanos(e.at_us * 1_000),
+                    Ev::Issue {
+                        sub: s as u32,
+                        idx: i as u32,
+                    },
+                );
+            }
+        }
+        if sim.model().params.mode == GageMode::Enabled {
+            let cycle = sim.model().params.scheduler.scheduling_cycle_secs;
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_secs_f64(cycle),
+                Ev::SchedTick,
+            );
+            // All RPNs report on the same accounting-cycle boundary, as on
+            // a testbed whose nodes start their Gage modules together. The
+            // synchronized observation is what produces Figure 3's >100%
+            // deviation at (2 s cycle, 1 s averaging interval). The cycle
+            // phase is arbitrary relative to measurement windows (nodes
+            // boot whenever), so it is deliberately not a round number.
+            let acct = sim.model().params.accounting_cycle;
+            let phase = acct.mul_f64(0.37);
+            for r in 0..sim.model().rpns.len() {
+                sim.schedule_at(SimTime::ZERO + acct + phase, Ev::AcctTick { rpn: r as u16 });
+            }
+        }
+        ClusterSim { sim }
+    }
+
+    /// Runs the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Schedules a fail-stop crash of `rpn` at the given instant (failure
+    /// injection). The RDN learns of it via the report watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rpn` is out of range.
+    pub fn schedule_rpn_crash(&mut self, at: SimTime, rpn: u16) {
+        assert!(
+            (rpn as usize) < self.sim.model().rpns.len(),
+            "rpn {rpn} out of range"
+        );
+        self.sim.schedule_at(at, Ev::CrashRpn { rpn });
+    }
+
+    /// Mean CPU utilization of each secondary RDN over `[from, to)`.
+    pub fn secondary_utilizations(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        let bw = crate::metrics::METRIC_BIN;
+        let lo = (from.as_nanos() / bw.as_nanos()) as usize;
+        let hi = (to.as_nanos() / bw.as_nanos()) as usize;
+        self.sim
+            .model()
+            .secondary_busy
+            .iter()
+            .map(|b| {
+                let bins = b.per_bin_utilization();
+                if hi > lo {
+                    (lo..hi).map(|i| bins.get(i).copied().unwrap_or(0.0)).sum::<f64>()
+                        / (hi - lo) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Live process count on each RPN (workers + any CGI children).
+    pub fn rpn_live_processes(&self) -> Vec<usize> {
+        self.sim
+            .model()
+            .rpns
+            .iter()
+            .map(|r| r.processes.live_count())
+            .collect()
+    }
+
+    /// The world, for metric extraction.
+    pub fn world(&self) -> &World {
+        self.sim.model()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Builds the end-of-run report over `[from, to)`.
+    pub fn report(&self, from: SimTime, to: SimTime) -> crate::metrics::ClusterReport {
+        use crate::metrics::{rate_in_window, ClusterReport, SubscriberRow};
+        let w = self.world();
+        let mut rows = Vec::new();
+        let mut total_served = 0.0;
+        for (i, m) in w.metrics.iter().enumerate() {
+            let sub = w.registry.get(SubscriberId(i as u32)).expect("registered");
+            let served = rate_in_window(&m.served, from, to);
+            total_served += served;
+            rows.push(SubscriberRow {
+                subscriber: i as u32,
+                host: sub.host.clone(),
+                reservation: sub.reservation.0,
+                offered: rate_in_window(&m.offered, from, to),
+                served,
+                dropped: rate_in_window(&m.dropped, from, to),
+                mean_latency_ms: m.latency.mean().as_secs_f64() * 1e3,
+            });
+        }
+        let elapsed = to.saturating_since(from);
+        // Busy within the window: approximate with total busy scaled by
+        // per-bin utilization over the window.
+        let bw = crate::metrics::METRIC_BIN;
+        let lo = (from.as_nanos() / bw.as_nanos()) as usize;
+        let hi = (to.as_nanos() / bw.as_nanos()) as usize;
+        let util_bins = w.rdn_metrics.busy.per_bin_utilization();
+        let rdn_utilization = if hi > lo {
+            (lo..hi)
+                .map(|i| util_bins.get(i).copied().unwrap_or(0.0))
+                .sum::<f64>()
+                / (hi - lo) as f64
+        } else {
+            0.0
+        };
+        let _ = elapsed;
+        ClusterReport {
+            subscribers: rows,
+            total_served,
+            rdn_utilization,
+            window: (from, to),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Request classification (paper §3.3).
+//!
+//! The primary RDN sorts every incoming packet into three categories:
+//!
+//! 1. **Handshake** — SYN/ACK packets of TCP's three-way handshake, which
+//!    the RDN answers itself (emulated handshake, bypassing a kernel stack),
+//! 2. **URL request** — the first payload packet, carrying the HTTP request
+//!    whose Host determines the subscriber queue,
+//! 3. **Other** — everything else, bridged at layer 2 to the owning RPN via
+//!    the connection table.
+
+use gage_net::packet::Packet;
+
+/// A parsed HTTP request line plus the classification key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequestInfo {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (`/index.html`).
+    pub path: String,
+    /// The host used for subscriber classification, lower-cased, without
+    /// any `:port` suffix.
+    pub host: String,
+}
+
+/// The three packet categories of the primary RDN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketClass {
+    /// Handled by the RDN's handshake emulation.
+    Handshake,
+    /// Contains the URL; goes into a subscriber queue.
+    UrlRequest(HttpRequestInfo),
+    /// Bridged to the owning RPN (or dropped if unknown).
+    Other,
+}
+
+/// Classifies `pkt` as the RDN would. `established` says whether the
+/// packet's four-tuple is already in the connection table (i.e. the request
+/// was already dispatched to an RPN).
+pub fn classify_packet(pkt: &Packet, established: bool) -> PacketClass {
+    if established {
+        // Everything on a dispatched connection is bridged, payload or not.
+        return PacketClass::Other;
+    }
+    if !pkt.payload.is_empty() {
+        if let Some(info) = parse_http_request(&pkt.payload) {
+            return PacketClass::UrlRequest(info);
+        }
+        return PacketClass::Other;
+    }
+    if pkt.is_syn() || pkt.is_ack() {
+        return PacketClass::Handshake;
+    }
+    PacketClass::Other
+}
+
+/// Parses the head of an HTTP/1.x request: the request line and the `Host`
+/// header. Absolute-URI request targets (`GET http://site1/x`) take
+/// precedence over the `Host` header, per RFC 7230 §5.4.
+///
+/// Returns `None` if the payload does not look like an HTTP request or no
+/// host can be determined.
+///
+/// ```rust
+/// use gage_core::classify::parse_http_request;
+/// let info = parse_http_request(b"GET /a.html HTTP/1.0\r\nHost: Site1.Example.COM:8080\r\n\r\n").unwrap();
+/// assert_eq!(info.host, "site1.example.com");
+/// assert_eq!(info.path, "/a.html");
+/// assert_eq!(info.method, "GET");
+/// ```
+pub fn parse_http_request(payload: &[u8]) -> Option<HttpRequestInfo> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    if !matches!(method, "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS") {
+        return None;
+    }
+
+    // Absolute-URI target?
+    let (host_from_target, path) = if let Some(rest) = target.strip_prefix("http://") {
+        match rest.find('/') {
+            Some(i) => (Some(&rest[..i]), rest[i..].to_string()),
+            None => (Some(rest), "/".to_string()),
+        }
+    } else {
+        (None, target.to_string())
+    };
+
+    let host_raw = match host_from_target {
+        Some(h) => Some(h.to_string()),
+        None => lines.find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            if name.eq_ignore_ascii_case("host") {
+                Some(value.trim().to_string())
+            } else {
+                None
+            }
+        }),
+    }?;
+
+    let host = host_raw
+        .rsplit_once(':')
+        .map(|(h, port)| {
+            if port.chars().all(|c| c.is_ascii_digit()) {
+                h.to_string()
+            } else {
+                host_raw.clone()
+            }
+        })
+        .unwrap_or(host_raw)
+        .to_ascii_lowercase();
+
+    if host.is_empty() {
+        return None;
+    }
+
+    Some(HttpRequestInfo {
+        method: method.to_string(),
+        path,
+        host,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gage_net::addr::{Endpoint, Port};
+    use gage_net::SeqNum;
+    use std::net::Ipv4Addr;
+
+    fn endpoints() -> (Endpoint, Endpoint) {
+        (
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(40_000)),
+            Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+        )
+    }
+
+    #[test]
+    fn syn_is_handshake() {
+        let (c, s) = endpoints();
+        let pkt = Packet::syn(c, s, SeqNum::new(1));
+        assert_eq!(classify_packet(&pkt, false), PacketClass::Handshake);
+    }
+
+    #[test]
+    fn bare_ack_is_handshake_until_established() {
+        let (c, s) = endpoints();
+        let pkt = Packet::ack(c, s, SeqNum::new(1), SeqNum::new(2));
+        assert_eq!(classify_packet(&pkt, false), PacketClass::Handshake);
+        assert_eq!(classify_packet(&pkt, true), PacketClass::Other);
+    }
+
+    #[test]
+    fn http_payload_is_url_request() {
+        let (c, s) = endpoints();
+        let pkt = Packet::data(
+            c,
+            s,
+            SeqNum::new(2),
+            SeqNum::new(2),
+            Bytes::from_static(b"GET /x HTTP/1.0\r\nHost: site9.example.com\r\n\r\n"),
+        );
+        match classify_packet(&pkt, false) {
+            PacketClass::UrlRequest(info) => {
+                assert_eq!(info.host, "site9.example.com");
+                assert_eq!(info.path, "/x");
+            }
+            other => panic!("expected UrlRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn established_connection_payload_is_other() {
+        let (c, s) = endpoints();
+        let pkt = Packet::data(
+            c,
+            s,
+            SeqNum::new(2),
+            SeqNum::new(2),
+            Bytes::from_static(b"GET /x HTTP/1.0\r\nHost: a\r\n\r\n"),
+        );
+        assert_eq!(classify_packet(&pkt, true), PacketClass::Other);
+    }
+
+    #[test]
+    fn garbage_payload_is_other() {
+        let (c, s) = endpoints();
+        let pkt = Packet::data(
+            c,
+            s,
+            SeqNum::new(2),
+            SeqNum::new(2),
+            Bytes::from_static(&[0xff, 0xfe, 0x00, 0x01]),
+        );
+        assert_eq!(classify_packet(&pkt, false), PacketClass::Other);
+    }
+
+    #[test]
+    fn absolute_uri_wins_over_host_header() {
+        let info = parse_http_request(
+            b"GET http://primary.com/page HTTP/1.1\r\nHost: shadow.com\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(info.host, "primary.com");
+        assert_eq!(info.path, "/page");
+    }
+
+    #[test]
+    fn absolute_uri_without_path() {
+        let info = parse_http_request(b"GET http://bare.com HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(info.host, "bare.com");
+        assert_eq!(info.path, "/");
+    }
+
+    #[test]
+    fn host_port_stripped_case_folded() {
+        let info =
+            parse_http_request(b"POST /f HTTP/1.1\r\nHost: MiXeD.CoM:81\r\n\r\n").unwrap();
+        assert_eq!(info.host, "mixed.com");
+        assert_eq!(info.method, "POST");
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert!(parse_http_request(b"HELO smtp.example.com\r\n").is_none());
+        assert!(parse_http_request(b"GET /x\r\n").is_none(), "missing version");
+        assert!(parse_http_request(b"GET /x HTTP/1.0\r\n\r\n").is_none(), "no host");
+        assert!(parse_http_request(&[0x80, 0x81]).is_none(), "not UTF-8");
+    }
+}

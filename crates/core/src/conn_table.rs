@@ -1,0 +1,157 @@
+//! The RDN's connection table (paper §3.3).
+//!
+//! After a URL request is dispatched, the packet's four-tuple and the MAC
+//! address of the chosen RPN are inserted here; every subsequent packet of
+//! the connection is bridged at layer 2 straight to that RPN without
+//! re-classification.
+
+use std::collections::HashMap;
+
+use gage_net::addr::{FourTuple, MacAddr};
+
+use crate::node::RpnId;
+
+/// Where packets of a dispatched connection are bridged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// The servicing node.
+    pub rpn: RpnId,
+    /// Its MAC address (the bridge rewrites only the frame destination).
+    pub rpn_mac: MacAddr,
+}
+
+/// The quadruple-indexed connection table.
+///
+/// ```rust
+/// use gage_core::conn_table::{ConnTable, Route};
+/// use gage_core::node::RpnId;
+/// use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
+/// use std::net::Ipv4Addr;
+///
+/// let mut table = ConnTable::new();
+/// let t = FourTuple::new(
+///     Endpoint::new(Ipv4Addr::new(1, 2, 3, 4), Port::new(999)),
+///     Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+/// );
+/// let route = Route { rpn: RpnId(4), rpn_mac: MacAddr::from_node_id(4) };
+/// table.insert(t, route);
+/// assert_eq!(table.lookup(t), Some(route));
+/// assert_eq!(table.remove(t), Some(route));
+/// assert_eq!(table.lookup(t), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConnTable {
+    map: HashMap<FourTuple, Route>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ConnTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Files `tuple` under `route`, returning any previous route.
+    pub fn insert(&mut self, tuple: FourTuple, route: Route) -> Option<Route> {
+        self.map.insert(tuple, route)
+    }
+
+    /// Looks up the route for an incoming packet's four-tuple.
+    pub fn lookup(&mut self, tuple: FourTuple) -> Option<Route> {
+        self.lookups += 1;
+        let r = self.map.get(&tuple).copied();
+        if r.is_some() {
+            self.hits += 1;
+        }
+        r
+    }
+
+    /// Non-counting lookup for classification checks.
+    pub fn contains(&self, tuple: FourTuple) -> bool {
+        self.map.contains_key(&tuple)
+    }
+
+    /// Removes a connection (on FIN/RST teardown).
+    pub fn remove(&mut self, tuple: FourTuple) -> Option<Route> {
+        self.map.remove(&tuple)
+    }
+
+    /// Active connections.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no connections are filed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (lookups, hits) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gage_net::addr::{Endpoint, Port};
+    use std::net::Ipv4Addr;
+
+    fn tuple(client_port: u16) -> FourTuple {
+        FourTuple::new(
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(client_port)),
+            Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+        )
+    }
+
+    fn route(i: u16) -> Route {
+        Route {
+            rpn: RpnId(i),
+            rpn_mac: MacAddr::from_node_id(i),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = ConnTable::new();
+        assert!(t.is_empty());
+        t.insert(tuple(1), route(1));
+        t.insert(tuple(2), route(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(tuple(1)), Some(route(1)));
+        assert_eq!(t.lookup(tuple(3)), None);
+        assert_eq!(t.remove(tuple(1)), Some(route(1)));
+        assert_eq!(t.remove(tuple(1)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut t = ConnTable::new();
+        t.insert(tuple(1), route(1));
+        let prev = t.insert(tuple(1), route(9));
+        assert_eq!(prev, Some(route(1)));
+        assert_eq!(t.lookup(tuple(1)), Some(route(9)));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut t = ConnTable::new();
+        t.insert(tuple(1), route(1));
+        assert!(!t.contains(tuple(1).reversed()));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut t = ConnTable::new();
+        t.insert(tuple(1), route(1));
+        t.lookup(tuple(1));
+        t.lookup(tuple(2));
+        assert_eq!(t.stats(), (2, 1));
+        // `contains` does not count.
+        t.contains(tuple(1));
+        assert_eq!(t.stats(), (2, 1));
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-subscriber per-request resource usage prediction.
+//!
+//! A URL request's resource usage is unknown at dispatch time; the paper
+//! (§3.4) has the scheduler assume each dispatched request will consume "a
+//! weighted average resource consumption of the past requests that belong to
+//! the same queue". This module implements that estimator as an
+//! exponentially-weighted moving average over completed requests, seeded
+//! with a configurable prior (the generic request cost by default).
+
+use crate::resource::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// EWMA predictor of a queue's per-request resource usage.
+///
+/// ```rust
+/// use gage_core::estimator::UsageEstimator;
+/// use gage_core::resource::ResourceVector;
+///
+/// let mut e = UsageEstimator::new(ResourceVector::generic_request(), 0.5);
+/// assert_eq!(e.predict().cpu_us, 10_000.0);
+/// e.observe(ResourceVector::new(2_000.0, 0.0, 6_000.0));
+/// // Halfway between prior and observation:
+/// assert_eq!(e.predict().cpu_us, 6_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageEstimator {
+    estimate: ResourceVector,
+    /// Weight of a new observation, in `(0, 1]`.
+    alpha: f64,
+    observations: u64,
+}
+
+impl UsageEstimator {
+    /// Creates an estimator starting at `prior`, with observation weight
+    /// `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(prior: ResourceVector, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        UsageEstimator {
+            estimate: prior,
+            alpha,
+            observations: 0,
+        }
+    }
+
+    /// The current per-request prediction.
+    pub fn predict(&self) -> ResourceVector {
+        self.estimate
+    }
+
+    /// Feeds the measured usage of one completed request.
+    pub fn observe(&mut self, actual: ResourceVector) {
+        self.estimate = self.estimate * (1.0 - self.alpha) + actual * self.alpha;
+        self.observations += 1;
+    }
+
+    /// Number of completed requests observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl Default for UsageEstimator {
+    /// Generic-request prior with a moderately reactive weight.
+    fn default() -> Self {
+        UsageEstimator::new(ResourceVector::generic_request(), 0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_stable_workload() {
+        let mut e = UsageEstimator::new(ResourceVector::generic_request(), 0.3);
+        let actual = ResourceVector::new(1_800.0, 0.0, 6_000.0);
+        for _ in 0..50 {
+            e.observe(actual);
+        }
+        let p = e.predict();
+        assert!((p.cpu_us - 1_800.0).abs() < 1.0);
+        assert!(p.disk_us.abs() < 1.0);
+        assert!((p.net_bytes - 6_000.0).abs() < 1.0);
+        assert_eq!(e.observations(), 50);
+    }
+
+    #[test]
+    fn alpha_one_tracks_immediately() {
+        let mut e = UsageEstimator::new(ResourceVector::ZERO, 1.0);
+        let v = ResourceVector::new(5.0, 6.0, 7.0);
+        e.observe(v);
+        assert_eq!(e.predict(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = UsageEstimator::new(ResourceVector::ZERO, 0.0);
+    }
+
+    #[test]
+    fn default_prior_is_generic() {
+        let e = UsageEstimator::default();
+        assert_eq!(e.predict(), ResourceVector::generic_request());
+    }
+
+    #[test]
+    fn variable_workload_stays_between_extremes() {
+        let mut e = UsageEstimator::default();
+        let small = ResourceVector::new(1_000.0, 0.0, 1_000.0);
+        let big = ResourceVector::new(9_000.0, 8_000.0, 50_000.0);
+        for i in 0..100 {
+            e.observe(if i % 2 == 0 { small } else { big });
+        }
+        let p = e.predict();
+        assert!(p.cpu_us > small.cpu_us && p.cpu_us < big.cpu_us);
+        assert!(p.net_bytes > small.net_bytes && p.net_bytes < big.net_bytes);
+    }
+}

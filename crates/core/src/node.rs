@@ -1,0 +1,314 @@
+//! The node scheduler: tracking RPN capacity and estimated outstanding
+//! load, and picking the least-loaded RPN for each dispatch.
+//!
+//! Paper §3.4–3.5: the RDN maintains, per RPN, its *capacity* and its
+//! *estimated outstanding load* (the sum of predicted resource usage of all
+//! pending requests dispatched to it). Every dispatch adds the request's
+//! predicted usage to the chosen RPN's outstanding load; every accounting
+//! message subtracts the RPN's reported usage.
+
+use crate::resource::ResourceVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a back-end request processing node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RpnId(pub u16);
+
+impl fmt::Display for RpnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rpn{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RpnState {
+    /// Resources the node can deliver per second (1 CPU = 1e6 µs/s, etc.).
+    capacity_per_sec: ResourceVector,
+    /// Predicted usage of dispatched-but-unreported requests.
+    outstanding: ResourceVector,
+    /// False once the node is declared failed (e.g. by a report watchdog);
+    /// down nodes receive no dispatches from either pass.
+    up: bool,
+}
+
+/// The RDN-side view of the back-end cluster.
+///
+/// `lookahead_secs` bounds how much predicted work may be in flight to one
+/// RPN: an RPN with `outstanding` beyond `capacity_per_sec × lookahead` is
+/// considered full. This is the admission throttle that makes excess input
+/// load back up into the subscriber queues (and overflow there) instead of
+/// swamping the back ends.
+///
+/// ```rust
+/// use gage_core::node::{NodeScheduler, RpnId};
+/// use gage_core::resource::ResourceVector;
+///
+/// let cap = ResourceVector::new(1e6, 1e6, 12.5e6); // 1 CPU, 1 disk, 100 Mb/s
+/// let mut nodes = NodeScheduler::new(0.1);
+/// let a = nodes.add_rpn(cap);
+/// let b = nodes.add_rpn(cap);
+/// let pred = ResourceVector::generic_request();
+/// let first = nodes.pick_least_loaded(pred).unwrap();
+/// nodes.commit_dispatch(first, pred);
+/// // The other node is now less loaded.
+/// assert_ne!(nodes.pick_least_loaded(pred).unwrap(), first);
+/// # let _ = (a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeScheduler {
+    rpns: Vec<RpnState>,
+    lookahead_secs: f64,
+}
+
+impl NodeScheduler {
+    /// Creates an empty cluster view with the given in-flight lookahead
+    /// window (seconds of per-node capacity allowed outstanding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead_secs` is not positive.
+    pub fn new(lookahead_secs: f64) -> Self {
+        assert!(lookahead_secs > 0.0, "lookahead must be positive");
+        NodeScheduler {
+            rpns: Vec::new(),
+            lookahead_secs,
+        }
+    }
+
+    /// Registers an RPN with the given per-second capacity; returns its id.
+    pub fn add_rpn(&mut self, capacity_per_sec: ResourceVector) -> RpnId {
+        let id = RpnId(self.rpns.len() as u16);
+        self.rpns.push(RpnState {
+            capacity_per_sec,
+            outstanding: ResourceVector::ZERO,
+            up: true,
+        });
+        id
+    }
+
+    /// Number of registered RPNs.
+    pub fn rpn_count(&self) -> usize {
+        self.rpns.len()
+    }
+
+    /// The in-flight budget of one RPN (`capacity × lookahead`).
+    pub fn window(&self, rpn: RpnId) -> ResourceVector {
+        self.rpns[rpn.0 as usize].capacity_per_sec * self.lookahead_secs
+    }
+
+    /// Current estimated outstanding load of an RPN.
+    pub fn outstanding(&self, rpn: RpnId) -> ResourceVector {
+        self.rpns[rpn.0 as usize].outstanding
+    }
+
+    /// Load fraction of an RPN: outstanding over window, by the bottleneck
+    /// dimension.
+    pub fn load_fraction(&self, rpn: RpnId) -> f64 {
+        let st = &self.rpns[rpn.0 as usize];
+        st.outstanding
+            .max_fraction_of(st.capacity_per_sec * self.lookahead_secs)
+    }
+
+    /// Marks a node up or down. Down nodes are never picked; their
+    /// outstanding estimate is cleared (their in-flight work is lost).
+    pub fn set_up(&mut self, rpn: RpnId, up: bool) {
+        let st = &mut self.rpns[rpn.0 as usize];
+        st.up = up;
+        if !up {
+            st.outstanding = ResourceVector::ZERO;
+        }
+    }
+
+    /// True if the node is currently considered alive.
+    pub fn is_up(&self, rpn: RpnId) -> bool {
+        self.rpns[rpn.0 as usize].up
+    }
+
+    /// Picks the least-loaded RPN that still has room for `predicted`, or
+    /// `None` if every node's window is full — the signal for the request
+    /// scheduler to stop dispatching this cycle.
+    pub fn pick_least_loaded(&self, predicted: ResourceVector) -> Option<RpnId> {
+        let mut best: Option<(f64, RpnId)> = None;
+        for (i, st) in self.rpns.iter().enumerate() {
+            if !st.up {
+                continue;
+            }
+            let window = st.capacity_per_sec * self.lookahead_secs;
+            if !(st.outstanding + predicted).fits_within(window) {
+                continue;
+            }
+            let frac = st.outstanding.max_fraction_of(window);
+            match best {
+                Some((b, _)) if b <= frac => {}
+                _ => best = Some((frac, RpnId(i as u16))),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Picks the least-loaded RPN regardless of window headroom. Used by
+    /// the *reserved* scheduling pass: a subscriber's reservation entitles
+    /// it to dispatch even when feedback is stale, so only the credit
+    /// balance gates it (paper §3.4–3.5). Returns `None` only if no RPNs
+    /// are registered.
+    pub fn pick_least_loaded_any(&self) -> Option<RpnId> {
+        let mut best: Option<(f64, RpnId)> = None;
+        for (i, st) in self.rpns.iter().enumerate() {
+            if !st.up {
+                continue;
+            }
+            let window = st.capacity_per_sec * self.lookahead_secs;
+            let frac = st.outstanding.max_fraction_of(window);
+            match best {
+                Some((b, _)) if b <= frac => {}
+                _ => best = Some((frac, RpnId(i as u16))),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Records a dispatch: adds `predicted` to the RPN's outstanding load.
+    pub fn commit_dispatch(&mut self, rpn: RpnId, predicted: ResourceVector) {
+        self.rpns[rpn.0 as usize].outstanding += predicted;
+    }
+
+    /// Overwrites the RPN's outstanding-load estimate with the level the
+    /// node itself reported. Preferred over incremental [`NodeScheduler::settle`]:
+    /// setting from ground truth each cycle keeps the estimate from
+    /// drifting.
+    pub fn set_outstanding(&mut self, rpn: RpnId, outstanding: ResourceVector) {
+        self.rpns[rpn.0 as usize].outstanding = outstanding.clamped_nonnegative();
+    }
+
+    /// Applies an accounting report: removes `settled_predicted` (the
+    /// predicted usage echoed back for completed requests) from the RPN's
+    /// outstanding load.
+    pub fn settle(&mut self, rpn: RpnId, settled_predicted: ResourceVector) {
+        let st = &mut self.rpns[rpn.0 as usize];
+        // Clamp: reports for work predicted before a reconfiguration must
+        // not drive outstanding negative.
+        st.outstanding = (st.outstanding - settled_predicted).clamped_nonnegative();
+    }
+
+    /// Total cluster capacity per second.
+    pub fn total_capacity_per_sec(&self) -> ResourceVector {
+        self.rpns.iter().map(|r| r.capacity_per_sec).sum()
+    }
+
+    /// Ids of all RPNs.
+    pub fn rpn_ids(&self) -> impl Iterator<Item = RpnId> + '_ {
+        (0..self.rpns.len()).map(|i| RpnId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> ResourceVector {
+        ResourceVector::new(1e6, 1e6, 12.5e6)
+    }
+
+    #[test]
+    fn balances_across_nodes() {
+        let mut n = NodeScheduler::new(0.1);
+        let ids: Vec<RpnId> = (0..4).map(|_| n.add_rpn(cap())).collect();
+        let pred = ResourceVector::generic_request();
+        let mut counts = vec![0u32; 4];
+        for _ in 0..8 {
+            let id = n.pick_least_loaded(pred).unwrap();
+            n.commit_dispatch(id, pred);
+            counts[id.0 as usize] += 1;
+        }
+        assert_eq!(counts, vec![2, 2, 2, 2], "round-robins under equal load");
+        let _ = ids;
+    }
+
+    #[test]
+    fn full_window_refuses_dispatch() {
+        let mut n = NodeScheduler::new(0.01); // 10ms window = 1 generic req
+        let id = n.add_rpn(cap());
+        let pred = ResourceVector::generic_request();
+        assert_eq!(n.pick_least_loaded(pred), Some(id));
+        n.commit_dispatch(id, pred);
+        assert_eq!(n.pick_least_loaded(pred), None, "window exhausted");
+        // A report frees the window.
+        n.settle(id, pred);
+        assert_eq!(n.pick_least_loaded(pred), Some(id));
+    }
+
+    #[test]
+    fn settle_clamps_at_zero() {
+        let mut n = NodeScheduler::new(0.1);
+        let id = n.add_rpn(cap());
+        n.settle(id, ResourceVector::generic_request() * 100.0);
+        assert_eq!(n.outstanding(id), ResourceVector::ZERO);
+        assert_eq!(n.load_fraction(id), 0.0);
+    }
+
+    #[test]
+    fn unequal_nodes_prefer_bigger() {
+        let mut n = NodeScheduler::new(0.1);
+        let small = n.add_rpn(cap());
+        let big = n.add_rpn(cap() * 4.0);
+        let pred = ResourceVector::generic_request();
+        // After one dispatch each, the bigger node has the lower fraction
+        // and keeps winning until it equalizes.
+        let mut big_count = 0;
+        for _ in 0..10 {
+            let id = n.pick_least_loaded(pred).unwrap();
+            n.commit_dispatch(id, pred);
+            if id == big {
+                big_count += 1;
+            }
+        }
+        assert!(big_count >= 7, "big node took {big_count}/10");
+        let _ = small;
+    }
+
+    #[test]
+    fn total_capacity_sums() {
+        let mut n = NodeScheduler::new(0.1);
+        n.add_rpn(cap());
+        n.add_rpn(cap());
+        assert_eq!(n.total_capacity_per_sec().cpu_us, 2e6);
+        assert_eq!(n.rpn_count(), 2);
+        assert_eq!(n.rpn_ids().count(), 2);
+    }
+
+    #[test]
+    fn down_nodes_are_never_picked() {
+        let mut n = NodeScheduler::new(0.1);
+        let a = n.add_rpn(cap());
+        let b = n.add_rpn(cap());
+        n.commit_dispatch(b, ResourceVector::generic_request());
+        n.set_up(a, false);
+        let pred = ResourceVector::generic_request();
+        assert_eq!(n.pick_least_loaded(pred), Some(b), "only the live node");
+        assert_eq!(n.pick_least_loaded_any(), Some(b));
+        assert!(!n.is_up(a));
+        assert_eq!(n.outstanding(a), ResourceVector::ZERO, "in-flight work written off");
+        n.set_up(a, true);
+        assert_eq!(n.pick_least_loaded(pred), Some(a), "recovered node rejoins");
+    }
+
+    #[test]
+    fn all_down_means_no_dispatch() {
+        let mut n = NodeScheduler::new(0.1);
+        let a = n.add_rpn(cap());
+        n.set_up(a, false);
+        assert_eq!(n.pick_least_loaded(ResourceVector::generic_request()), None);
+        assert_eq!(n.pick_least_loaded_any(), None);
+    }
+
+    #[test]
+    fn oversized_request_never_fits() {
+        let mut n = NodeScheduler::new(0.001);
+        n.add_rpn(cap());
+        let huge = ResourceVector::generic_request() * 1000.0;
+        assert_eq!(n.pick_least_loaded(huge), None);
+    }
+}

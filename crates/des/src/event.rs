@@ -1,0 +1,227 @@
+//! Cancellable timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable to cancel it before
+/// it fires (e.g. a retransmission timer disarmed by an ACK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event popped from the queue: when it fires and its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant the event fires.
+    pub at: SimTime,
+    /// The handle under which it was scheduled.
+    pub id: EventId,
+    /// The payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first,
+    // breaking ties by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of events ordered by firing time with deterministic
+/// FIFO tie-breaking and lazy cancellation.
+///
+/// ```rust
+/// use gage_des::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(SimTime::from_millis(5), "late");
+/// let _b = q.schedule(SimTime::from_millis(1), "early");
+/// q.cancel(a);
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    /// Sequence numbers of events that are scheduled and not yet fired or
+    /// cancelled. Heap entries whose seq is absent here are tombstones.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at` and returns a handle
+    /// that can cancel it.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at, seq, event });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending, `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some(ScheduledEvent {
+                    at: entry.at,
+                    id: EventId(entry.seq),
+                    event: entry.event,
+                });
+            }
+        }
+        None
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let entry = self.heap.peek()?;
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().id, b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_disturb_later_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id, a);
+        assert!(!q.cancel(a), "cancelling a fired event reports false");
+        let b = q.schedule(t(2), "b");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().id, b);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel() {
+        let mut q = EventQueue::new();
+        let mut popped = Vec::new();
+        let a = q.schedule(t(10), 10);
+        q.schedule(t(1), 1);
+        popped.push(q.pop().unwrap().event);
+        q.schedule(t(5), 5);
+        q.cancel(a);
+        q.schedule(t(7), 7);
+        while let Some(e) = q.pop() {
+            popped.push(e.event);
+        }
+        assert_eq!(popped, vec![1, 5, 7]);
+    }
+}

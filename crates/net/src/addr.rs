@@ -1,0 +1,191 @@
+//! Addressing newtypes: MAC addresses, ports, endpoints and four-tuples.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// ```rust
+/// use gage_net::MacAddr;
+/// let m = MacAddr::new([0x02, 0, 0, 0, 0, 0x4]);
+/// assert_eq!(m.to_string(), "02:00:00:00:00:04");
+/// assert!(!m.is_broadcast());
+/// assert!(MacAddr::BROADCAST.is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Builds an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// A locally-administered unicast address derived from a small node id —
+    /// handy for simulations (`02:00:00:00:hi:lo`).
+    pub const fn from_node_id(id: u16) -> Self {
+        MacAddr([0x02, 0, 0, 0, (id >> 8) as u8, id as u8])
+    }
+
+    /// The six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// A TCP/UDP port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Port(u16);
+
+impl Port {
+    /// The conventional HTTP port.
+    pub const HTTP: Port = Port(80);
+
+    /// Wraps a raw port number.
+    pub const fn new(p: u16) -> Self {
+        Port(p)
+    }
+
+    /// The raw port number.
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Port {
+    fn from(p: u16) -> Self {
+        Port(p)
+    }
+}
+
+/// One end of a TCP connection: an IPv4 address and a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// The IPv4 address.
+    pub ip: Ipv4Addr,
+    /// The port.
+    pub port: Port,
+}
+
+impl Endpoint {
+    /// Builds an endpoint.
+    pub const fn new(ip: Ipv4Addr, port: Port) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// The connection four-tuple (source and destination endpoints) used as the
+/// key of the RDN's connection table (paper Section 3.3).
+///
+/// ```rust
+/// use gage_net::{Endpoint, FourTuple, Port};
+/// use std::net::Ipv4Addr;
+/// let a = Endpoint::new(Ipv4Addr::new(1, 2, 3, 4), Port::new(1000));
+/// let b = Endpoint::new(Ipv4Addr::new(5, 6, 7, 8), Port::new(80));
+/// let fwd = FourTuple::new(a, b);
+/// assert_eq!(fwd.reversed(), FourTuple::new(b, a));
+/// assert_eq!(fwd.reversed().reversed(), fwd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FourTuple {
+    /// Sender endpoint.
+    pub src: Endpoint,
+    /// Receiver endpoint.
+    pub dst: Endpoint,
+}
+
+impl FourTuple {
+    /// Builds a four-tuple.
+    pub const fn new(src: Endpoint, dst: Endpoint) -> Self {
+        FourTuple { src, dst }
+    }
+
+    /// The same connection viewed from the opposite direction.
+    pub const fn reversed(self) -> Self {
+        FourTuple {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+impl fmt::Display for FourTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_node_id_is_unique_and_unicast() {
+        let a = MacAddr::from_node_id(1);
+        let b = MacAddr::from_node_id(2);
+        assert_ne!(a, b);
+        assert!(!a.is_broadcast());
+        assert_eq!(a.octets()[0], 0x02, "locally administered");
+    }
+
+    #[test]
+    fn mac_display_format() {
+        assert_eq!(
+            MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(8080));
+        assert_eq!(e.to_string(), "10.0.0.1:8080");
+    }
+
+    #[test]
+    fn four_tuple_reverse_round_trip() {
+        let a = Endpoint::new(Ipv4Addr::new(1, 1, 1, 1), Port::new(1));
+        let b = Endpoint::new(Ipv4Addr::new(2, 2, 2, 2), Port::new(2));
+        let t = FourTuple::new(a, b);
+        assert_ne!(t, t.reversed());
+        assert_eq!(t, t.reversed().reversed());
+    }
+
+    #[test]
+    fn port_conversions() {
+        let p: Port = 443u16.into();
+        assert_eq!(p.get(), 443);
+        assert_eq!(Port::HTTP.get(), 80);
+    }
+}

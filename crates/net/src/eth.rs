@@ -1,0 +1,95 @@
+//! Ethernet framing.
+
+use crate::addr::MacAddr;
+
+/// Length of an Ethernet header on the wire (no VLAN tag, no FCS).
+pub const ETH_HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// An Ethernet II header.
+///
+/// ```rust
+/// use gage_net::eth::{EthHeader, ETH_HEADER_LEN};
+/// use gage_net::MacAddr;
+/// let h = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+/// let mut buf = Vec::new();
+/// h.write(&mut buf);
+/// assert_eq!(buf.len(), ETH_HEADER_LEN);
+/// assert_eq!(EthHeader::parse(&buf).unwrap(), h);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+impl EthHeader {
+    /// Builds a header carrying IPv4.
+    pub const fn ipv4(src: MacAddr, dst: MacAddr) -> Self {
+        EthHeader {
+            dst,
+            src,
+            ethertype: ETHERTYPE_IPV4,
+        }
+    }
+
+    /// Appends the wire representation to `buf`.
+    pub fn write(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.dst.octets());
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses a header from the front of `data`, or `None` if too short.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < ETH_HEADER_LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        Some(EthHeader {
+            dst: MacAddr::new(dst),
+            src: MacAddr::new(src),
+            ethertype: u16::from_be_bytes([data[12], data[13]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = EthHeader::ipv4(MacAddr::from_node_id(7), MacAddr::BROADCAST);
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(EthHeader::parse(&buf), Some(h));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(EthHeader::parse(&[0u8; 13]), None);
+    }
+
+    #[test]
+    fn wire_layout_matches_spec() {
+        let h = EthHeader::ipv4(
+            MacAddr::new([1, 2, 3, 4, 5, 6]),
+            MacAddr::new([7, 8, 9, 10, 11, 12]),
+        );
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(&buf[0..6], &[7, 8, 9, 10, 11, 12], "destination first");
+        assert_eq!(&buf[6..12], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&buf[12..14], &[0x08, 0x00]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Composite TCP/IPv4 packets: construction, serialization and parsing.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use crate::addr::{Endpoint, FourTuple};
+use crate::eth::{EthHeader, ETHERTYPE_IPV4, ETH_HEADER_LEN};
+use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN, PROTO_TCP};
+use crate::seq::SeqNum;
+use crate::tcp::{tcp_checksum_valid, TcpFlags, TcpHeader, TCP_HEADER_LEN};
+
+/// Errors from [`Packet::from_wire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the combined headers claim.
+    Truncated,
+    /// The Ethernet frame does not carry IPv4.
+    NotIpv4,
+    /// The datagram does not carry TCP.
+    NotTcp,
+    /// The IPv4 header checksum is wrong.
+    BadIpChecksum,
+    /// The TCP checksum (including pseudo-header) is wrong.
+    BadTcpChecksum,
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            PacketError::Truncated => "packet truncated",
+            PacketError::NotIpv4 => "frame does not carry IPv4",
+            PacketError::NotTcp => "datagram does not carry TCP",
+            PacketError::BadIpChecksum => "bad IPv4 header checksum",
+            PacketError::BadTcpChecksum => "bad TCP checksum",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A TCP segment inside an IPv4 datagram, the unit the Gage layer forwards
+/// and rewrites.
+///
+/// ```rust
+/// use gage_net::packet::Packet;
+/// use gage_net::addr::{Endpoint, Port};
+/// use gage_net::SeqNum;
+/// use std::net::Ipv4Addr;
+///
+/// let c = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(4000));
+/// let s = Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::new(80));
+/// let syn = Packet::syn(c, s, SeqNum::new(77));
+/// assert!(syn.is_syn() && !syn.is_ack());
+/// assert_eq!(syn.four_tuple().src, c);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Network-layer header.
+    pub ip: Ipv4Header,
+    /// Transport-layer header.
+    pub tcp: TcpHeader,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Builds a packet from endpoints, flags, numbers and payload.
+    pub fn new(
+        src: Endpoint,
+        dst: Endpoint,
+        seq: SeqNum,
+        ack: SeqNum,
+        flags: TcpFlags,
+        payload: Bytes,
+    ) -> Self {
+        let tcp = TcpHeader::new(src.port, dst.port, seq, ack, flags);
+        let ip = Ipv4Header::tcp(src.ip, dst.ip, (TCP_HEADER_LEN + payload.len()) as u16);
+        Packet { ip, tcp, payload }
+    }
+
+    /// A connection-opening SYN.
+    pub fn syn(src: Endpoint, dst: Endpoint, isn: SeqNum) -> Self {
+        Packet::new(src, dst, isn, SeqNum::new(0), TcpFlags::SYN, Bytes::new())
+    }
+
+    /// The listener's SYN-ACK reply.
+    pub fn syn_ack(src: Endpoint, dst: Endpoint, isn: SeqNum, ack: SeqNum) -> Self {
+        Packet::new(src, dst, isn, ack, TcpFlags::SYN | TcpFlags::ACK, Bytes::new())
+    }
+
+    /// A bare acknowledgment.
+    pub fn ack(src: Endpoint, dst: Endpoint, seq: SeqNum, ack: SeqNum) -> Self {
+        Packet::new(src, dst, seq, ack, TcpFlags::ACK, Bytes::new())
+    }
+
+    /// A data segment (PSH|ACK).
+    pub fn data(src: Endpoint, dst: Endpoint, seq: SeqNum, ack: SeqNum, payload: Bytes) -> Self {
+        Packet::new(src, dst, seq, ack, TcpFlags::PSH | TcpFlags::ACK, payload)
+    }
+
+    /// A connection-closing FIN|ACK.
+    pub fn fin(src: Endpoint, dst: Endpoint, seq: SeqNum, ack: SeqNum) -> Self {
+        Packet::new(src, dst, seq, ack, TcpFlags::FIN | TcpFlags::ACK, Bytes::new())
+    }
+
+    /// Source endpoint (IP and port).
+    pub fn src(&self) -> Endpoint {
+        Endpoint::new(self.ip.src, self.tcp.src_port)
+    }
+
+    /// Destination endpoint (IP and port).
+    pub fn dst(&self) -> Endpoint {
+        Endpoint::new(self.ip.dst, self.tcp.dst_port)
+    }
+
+    /// The connection four-tuple in this packet's direction.
+    pub fn four_tuple(&self) -> FourTuple {
+        FourTuple::new(self.src(), self.dst())
+    }
+
+    /// True if the SYN flag is set.
+    pub fn is_syn(&self) -> bool {
+        self.tcp.flags.contains(TcpFlags::SYN)
+    }
+
+    /// True if the ACK flag is set.
+    pub fn is_ack(&self) -> bool {
+        self.tcp.flags.contains(TcpFlags::ACK)
+    }
+
+    /// True if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.tcp.flags.contains(TcpFlags::FIN)
+    }
+
+    /// True if the RST flag is set.
+    pub fn is_rst(&self) -> bool {
+        self.tcp.flags.contains(TcpFlags::RST)
+    }
+
+    /// Sequence space this packet occupies.
+    pub fn seq_len(&self) -> u32 {
+        self.tcp.seq_len(self.payload.len())
+    }
+
+    /// Total wire size including Ethernet framing, in bytes — what NIC and
+    /// switch bandwidth models charge for.
+    pub fn wire_len(&self) -> usize {
+        ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Rewrites the source address and recomputes lengths. Used by splicing
+    /// for outgoing (RPN → client) packets.
+    pub fn rewrite_src_ip(&mut self, ip: Ipv4Addr) {
+        self.ip.src = ip;
+    }
+
+    /// Rewrites the destination address. Used by splicing for incoming
+    /// (client → RPN) packets.
+    pub fn rewrite_dst_ip(&mut self, ip: Ipv4Addr) {
+        self.ip.dst = ip;
+    }
+
+    /// Serializes to wire bytes with an Ethernet header, computing all
+    /// checksums.
+    pub fn to_wire(&self, eth: EthHeader) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        eth.write(&mut buf);
+        self.ip.write(&mut buf);
+        self.tcp
+            .write(&mut buf, self.ip.src, self.ip.dst, &self.payload);
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses and checksum-verifies wire bytes produced by [`Packet::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] if the frame is truncated, is not TCP over
+    /// IPv4, or fails either checksum.
+    pub fn from_wire(data: &[u8]) -> Result<(EthHeader, Packet), PacketError> {
+        let eth = EthHeader::parse(data).ok_or(PacketError::Truncated)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(PacketError::NotIpv4);
+        }
+        let ip_bytes = &data[ETH_HEADER_LEN..];
+        let ip = Ipv4Header::parse(ip_bytes).ok_or(PacketError::Truncated)?;
+        if ip.protocol != PROTO_TCP {
+            return Err(PacketError::NotTcp);
+        }
+        if !ip.checksum_valid(ip_bytes) {
+            return Err(PacketError::BadIpChecksum);
+        }
+        let seg_len = ip.payload_len() as usize;
+        if ip_bytes.len() < IPV4_HEADER_LEN + seg_len || seg_len < TCP_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let segment = &ip_bytes[IPV4_HEADER_LEN..IPV4_HEADER_LEN + seg_len];
+        if !tcp_checksum_valid(ip.src, ip.dst, segment) {
+            return Err(PacketError::BadTcpChecksum);
+        }
+        let tcp = TcpHeader::parse(segment).ok_or(PacketError::Truncated)?;
+        let payload = Bytes::copy_from_slice(&segment[TCP_HEADER_LEN..]);
+        Ok((eth, Packet { ip, tcp, payload }))
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] seq={} ack={} len={}",
+            self.four_tuple(),
+            self.tcp.flags,
+            self.tcp.seq,
+            self.tcp.ack,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{MacAddr, Port};
+
+    fn endpoints() -> (Endpoint, Endpoint) {
+        (
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(40_000)),
+            Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+        )
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let (c, s) = endpoints();
+        let pkt = Packet::data(
+            c,
+            s,
+            SeqNum::new(100),
+            SeqNum::new(200),
+            Bytes::from_static(b"GET /index.html HTTP/1.0\r\nHost: site1\r\n\r\n"),
+        );
+        let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let wire = pkt.to_wire(eth);
+        assert_eq!(wire.len(), pkt.wire_len());
+        let (eth2, pkt2) = Packet::from_wire(&wire).unwrap();
+        assert_eq!(eth2, eth);
+        assert_eq!(pkt2, pkt);
+    }
+
+    #[test]
+    fn corrupt_payload_fails_tcp_checksum() {
+        let (c, s) = endpoints();
+        let pkt = Packet::data(
+            c,
+            s,
+            SeqNum::new(1),
+            SeqNum::new(2),
+            Bytes::from_static(b"hello"),
+        );
+        let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let mut wire = pkt.to_wire(eth);
+        let n = wire.len();
+        wire[n - 1] ^= 0x01;
+        assert_eq!(Packet::from_wire(&wire), Err(PacketError::BadTcpChecksum));
+    }
+
+    #[test]
+    fn corrupt_ip_header_fails_ip_checksum() {
+        let (c, s) = endpoints();
+        let pkt = Packet::ack(c, s, SeqNum::new(1), SeqNum::new(2));
+        let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let mut wire = pkt.to_wire(eth);
+        wire[ETH_HEADER_LEN + 8] ^= 0xff; // TTL byte
+        assert_eq!(Packet::from_wire(&wire), Err(PacketError::BadIpChecksum));
+    }
+
+    #[test]
+    fn flag_constructors() {
+        let (c, s) = endpoints();
+        assert!(Packet::syn(c, s, SeqNum::new(0)).is_syn());
+        let sa = Packet::syn_ack(s, c, SeqNum::new(5), SeqNum::new(1));
+        assert!(sa.is_syn() && sa.is_ack());
+        assert!(Packet::fin(c, s, SeqNum::new(9), SeqNum::new(9)).is_fin());
+        assert!(!Packet::ack(c, s, SeqNum::new(1), SeqNum::new(1)).is_syn());
+    }
+
+    #[test]
+    fn rewrite_addresses() {
+        let (c, s) = endpoints();
+        let mut pkt = Packet::ack(c, s, SeqNum::new(1), SeqNum::new(1));
+        let rpn = Ipv4Addr::new(10, 0, 2, 4);
+        pkt.rewrite_dst_ip(rpn);
+        assert_eq!(pkt.dst().ip, rpn);
+        assert_eq!(pkt.dst().port, s.port, "port untouched");
+        pkt.rewrite_src_ip(rpn);
+        assert_eq!(pkt.src().ip, rpn);
+    }
+
+    #[test]
+    fn non_ip_frame_rejected() {
+        let mut buf = Vec::new();
+        EthHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_node_id(1),
+            ethertype: 0x0806, // ARP
+        }
+        .write(&mut buf);
+        buf.extend_from_slice(&[0u8; 40]);
+        assert_eq!(Packet::from_wire(&buf).unwrap_err(), PacketError::NotIpv4);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Packet::from_wire(&[0u8; 5]), Err(PacketError::Truncated));
+    }
+}

@@ -1,0 +1,142 @@
+//! RFC 793 sequence-number arithmetic.
+//!
+//! TCP sequence numbers live on a 32-bit circle; comparisons and distances
+//! must be computed modulo 2³². Getting this wrong is the classic splicing
+//! bug, so the type is tested heavily (including with proptest, see
+//! `tests/` in this crate).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with wrapping arithmetic and circular comparison.
+///
+/// ```rust
+/// use gage_net::SeqNum;
+/// let near_wrap = SeqNum::new(u32::MAX - 1);
+/// let wrapped = near_wrap + 4;
+/// assert_eq!(wrapped, SeqNum::new(2));
+/// assert!(near_wrap.before(wrapped));
+/// assert_eq!(wrapped - near_wrap, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(u32);
+
+impl SeqNum {
+    /// Wraps a raw 32-bit sequence number.
+    pub const fn new(v: u32) -> Self {
+        SeqNum(v)
+    }
+
+    /// The raw value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Circular "strictly earlier than": true if `self` precedes `other` on
+    /// the sequence circle (signed 32-bit difference is negative).
+    pub fn before(self, other: SeqNum) -> bool {
+        (self.0.wrapping_sub(other.0) as i32) < 0
+    }
+
+    /// Circular "earlier than or equal".
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        self == other || self.before(other)
+    }
+
+    /// Circular "strictly later than".
+    pub fn after(self, other: SeqNum) -> bool {
+        other.before(self)
+    }
+
+    /// True if `self` lies in the half-open circular window `[lo, lo+len)`.
+    pub fn in_window(self, lo: SeqNum, len: u32) -> bool {
+        self.0.wrapping_sub(lo.0) < len
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    /// Circular distance from `rhs` forward to `self`.
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl Sub<u32> for SeqNum {
+    type Output = SeqNum;
+    fn sub(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(v: u32) -> Self {
+        SeqNum(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        assert!(SeqNum::new(5).before(SeqNum::new(10)));
+        assert!(SeqNum::new(10).after(SeqNum::new(5)));
+        assert!(!SeqNum::new(10).before(SeqNum::new(10)));
+        assert!(SeqNum::new(10).before_eq(SeqNum::new(10)));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let hi = SeqNum::new(u32::MAX - 10);
+        let lo = SeqNum::new(10);
+        assert!(hi.before(lo), "wraps forward");
+        assert!(lo.after(hi));
+        assert_eq!(lo - hi, 21);
+    }
+
+    #[test]
+    fn add_and_sub_invert() {
+        let s = SeqNum::new(u32::MAX - 3);
+        assert_eq!((s + 10) - 10u32, s);
+        assert_eq!((s + 10) - s, 10);
+    }
+
+    #[test]
+    fn window_membership() {
+        let lo = SeqNum::new(u32::MAX - 5);
+        assert!(lo.in_window(lo, 1));
+        assert!((lo + 9).in_window(lo, 10));
+        assert!(!(lo + 10).in_window(lo, 10));
+        assert!(!(lo - 1u32).in_window(lo, 10));
+    }
+
+    #[test]
+    fn far_apart_values_order_by_half_circle() {
+        // Distances greater than 2^31 flip the comparison; that's inherent
+        // to RFC 793 arithmetic and fine for our window sizes.
+        let a = SeqNum::new(0);
+        let b = SeqNum::new(1 << 31);
+        assert!(b.before(a) || a.before(b));
+    }
+}

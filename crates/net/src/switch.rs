@@ -1,0 +1,158 @@
+//! An L2 learning switch model.
+//!
+//! The Gage testbed connects clients, the RDN and the RPNs through a 16-port
+//! Fast Ethernet switch whose fabric bandwidth makes network contention
+//! negligible. This model reproduces the *forwarding* behaviour (MAC
+//! learning, unicast forwarding, flooding of unknown destinations and
+//! broadcast); latency/bandwidth accounting lives with the NIC models in
+//! `gage-cluster`.
+
+use std::collections::HashMap;
+
+use crate::addr::MacAddr;
+
+/// A switch port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortNo(pub u8);
+
+/// Where a frame should go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Forward {
+    /// Send out exactly one port.
+    Unicast(PortNo),
+    /// Flood out every port except the ingress.
+    Flood(Vec<PortNo>),
+    /// Drop (destination learned on the ingress port itself).
+    Drop,
+}
+
+/// A learning switch.
+///
+/// ```rust
+/// use gage_net::switch::{LearningSwitch, PortNo, Forward};
+/// use gage_net::MacAddr;
+///
+/// let mut sw = LearningSwitch::new(4);
+/// let a = MacAddr::from_node_id(1);
+/// let b = MacAddr::from_node_id(2);
+/// // First frame from a floods (b unknown) and teaches the switch where a is.
+/// assert!(matches!(sw.forward(PortNo(0), a, b), Forward::Flood(_)));
+/// // b replies: unicast straight back to a's port.
+/// assert_eq!(sw.forward(PortNo(3), b, a), Forward::Unicast(PortNo(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LearningSwitch {
+    ports: u8,
+    table: HashMap<MacAddr, PortNo>,
+}
+
+impl LearningSwitch {
+    /// Creates a switch with `ports` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: u8) -> Self {
+        assert!(ports > 0, "switch needs at least one port");
+        LearningSwitch {
+            ports,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> u8 {
+        self.ports
+    }
+
+    /// Number of learned MAC entries.
+    pub fn learned(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Processes a frame arriving on `ingress` from `src` to `dst`:
+    /// learns the source location and returns the forwarding decision.
+    pub fn forward(&mut self, ingress: PortNo, src: MacAddr, dst: MacAddr) -> Forward {
+        debug_assert!(ingress.0 < self.ports, "ingress port out of range");
+        if !src.is_broadcast() {
+            self.table.insert(src, ingress);
+        }
+        if dst.is_broadcast() {
+            return Forward::Flood(self.all_except(ingress));
+        }
+        match self.table.get(&dst) {
+            Some(&p) if p == ingress => Forward::Drop,
+            Some(&p) => Forward::Unicast(p),
+            None => Forward::Flood(self.all_except(ingress)),
+        }
+    }
+
+    fn all_except(&self, ingress: PortNo) -> Vec<PortNo> {
+        (0..self.ports)
+            .map(PortNo)
+            .filter(|&p| p != ingress)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_and_unicasts() {
+        let mut sw = LearningSwitch::new(3);
+        let a = MacAddr::from_node_id(1);
+        let b = MacAddr::from_node_id(2);
+        sw.forward(PortNo(0), a, b);
+        sw.forward(PortNo(2), b, a);
+        assert_eq!(sw.forward(PortNo(0), a, b), Forward::Unicast(PortNo(2)));
+        assert_eq!(sw.learned(), 2);
+    }
+
+    #[test]
+    fn floods_unknown_and_broadcast() {
+        let mut sw = LearningSwitch::new(4);
+        let a = MacAddr::from_node_id(1);
+        match sw.forward(PortNo(1), a, MacAddr::from_node_id(9)) {
+            Forward::Flood(ports) => {
+                assert_eq!(ports, vec![PortNo(0), PortNo(2), PortNo(3)]);
+            }
+            other => panic!("expected flood, got {other:?}"),
+        }
+        match sw.forward(PortNo(0), a, MacAddr::BROADCAST) {
+            Forward::Flood(ports) => assert_eq!(ports.len(), 3),
+            other => panic!("expected flood, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drops_hairpin() {
+        let mut sw = LearningSwitch::new(2);
+        let a = MacAddr::from_node_id(1);
+        let b = MacAddr::from_node_id(2);
+        // Learn both on port 0 (e.g. behind a hub).
+        sw.forward(PortNo(0), a, MacAddr::BROADCAST);
+        sw.forward(PortNo(0), b, MacAddr::BROADCAST);
+        assert_eq!(sw.forward(PortNo(0), a, b), Forward::Drop);
+    }
+
+    #[test]
+    fn station_move_relearns() {
+        let mut sw = LearningSwitch::new(3);
+        let a = MacAddr::from_node_id(1);
+        let b = MacAddr::from_node_id(2);
+        sw.forward(PortNo(0), a, b);
+        sw.forward(PortNo(1), b, a);
+        // a moves to port 2.
+        sw.forward(PortNo(2), a, b);
+        assert_eq!(sw.forward(PortNo(1), b, a), Forward::Unicast(PortNo(2)));
+    }
+
+    #[test]
+    fn broadcast_source_not_learned() {
+        let mut sw = LearningSwitch::new(2);
+        sw.forward(PortNo(0), MacAddr::BROADCAST, MacAddr::from_node_id(1));
+        assert_eq!(sw.learned(), 0);
+    }
+}

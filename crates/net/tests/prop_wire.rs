@@ -1,0 +1,110 @@
+//! Property-based tests of wire serialization and checksums.
+
+use bytes::Bytes;
+use gage_net::addr::{Endpoint, MacAddr, Port};
+use gage_net::eth::EthHeader;
+use gage_net::packet::Packet;
+use gage_net::tcp::TcpFlags;
+use gage_net::SeqNum;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| {
+        Endpoint::new(Ipv4Addr::from(ip), Port::new(port))
+    })
+}
+
+proptest! {
+    /// Any packet serializes and parses back identically, and the parser
+    /// verifies both checksums in the process.
+    #[test]
+    fn wire_round_trip(
+        src in arb_endpoint(),
+        dst in arb_endpoint(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flag_bits in 0u8..0x20,
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+        src_mac in any::<u16>(),
+        dst_mac in any::<u16>(),
+    ) {
+        let pkt = Packet::new(
+            src,
+            dst,
+            SeqNum::new(seq),
+            SeqNum::new(ack),
+            TcpFlags::from_bits(flag_bits),
+            Bytes::from(payload),
+        );
+        let eth = EthHeader::ipv4(
+            MacAddr::from_node_id(src_mac),
+            MacAddr::from_node_id(dst_mac),
+        );
+        let wire = pkt.to_wire(eth);
+        prop_assert_eq!(wire.len(), pkt.wire_len());
+        let (eth2, pkt2) = Packet::from_wire(&wire).expect("round trip");
+        prop_assert_eq!(eth2, eth);
+        prop_assert_eq!(pkt2, pkt);
+    }
+
+    /// Flipping any single byte of the frame is detected (parse error) —
+    /// except within the Ethernet header, which carries no checksum.
+    #[test]
+    fn corruption_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let src = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(1234));
+        let dst = Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP);
+        let pkt = Packet::data(
+            src,
+            dst,
+            SeqNum::new(5),
+            SeqNum::new(6),
+            Bytes::from(payload),
+        );
+        let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let mut wire = pkt.to_wire(eth);
+        // Corrupt one bit somewhere past the Ethernet header.
+        let lo = gage_net::eth::ETH_HEADER_LEN;
+        let idx = lo + ((wire.len() - lo - 1) as f64 * flip_at_frac) as usize;
+        wire[idx] ^= 1 << flip_bit;
+        let parsed = Packet::from_wire(&wire);
+        match parsed {
+            Err(_) => {} // detected: good
+            Ok((_, p2)) => {
+                // The only undetectable single-bit flips are those the
+                // Internet checksum cannot see — which do not exist for a
+                // single bit. If parsing succeeded the bytes must be
+                // unchanged (we flipped a bit that the parser rejects by
+                // construction, so reaching here means reconstruction
+                // matched; fail loudly).
+                prop_assert_eq!(p2, pkt, "corruption slipped through");
+            }
+        }
+    }
+
+    /// Truncating a valid frame anywhere never panics and never yields a
+    /// valid packet with a different payload length.
+    #[test]
+    fn truncation_never_panics(
+        payload_len in 0usize..600,
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let src = Endpoint::new(Ipv4Addr::new(1, 2, 3, 4), Port::new(9));
+        let dst = Endpoint::new(Ipv4Addr::new(5, 6, 7, 8), Port::new(80));
+        let pkt = Packet::data(
+            src,
+            dst,
+            SeqNum::new(1),
+            SeqNum::new(2),
+            Bytes::from(vec![7u8; payload_len]),
+        );
+        let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let wire = pkt.to_wire(eth);
+        let keep = (wire.len() as f64 * keep_frac) as usize;
+        let _ = Packet::from_wire(&wire[..keep]); // must not panic
+    }
+}

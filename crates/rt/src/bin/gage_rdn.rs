@@ -1,0 +1,107 @@
+//! The Gage front-end (RDN) binary.
+//!
+//! ```text
+//! gage-rdn --listen 127.0.0.1:8080 --control 127.0.0.1:8100 \
+//!          --site gold.local=200 --site bronze.local=50 \
+//!          --backend 127.0.0.1:9001 --backend 127.0.0.1:9002
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use gage_core::resource::Grps;
+use gage_core::subscriber::SubscriberId;
+use gage_rt::frontend::{spawn_frontend, FrontendConfig, SiteConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gage-rdn --listen ADDR --control ADDR \
+         --site HOST=GRPS [--site ...] --backend ADDR [--backend ...]"
+    );
+    ExitCode::from(2)
+}
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() -> ExitCode {
+    let mut listen: Option<SocketAddr> = None;
+    let mut control: Option<SocketAddr> = None;
+    let mut sites: Vec<SiteConfig> = Vec::new();
+    let mut backends: Vec<SocketAddr> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--listen" => listen = value.parse().ok(),
+            "--control" => control = value.parse().ok(),
+            "--site" => {
+                let Some((host, grps)) = value.split_once('=') else {
+                    return usage();
+                };
+                let Ok(grps) = grps.parse::<f64>() else {
+                    return usage();
+                };
+                sites.push(SiteConfig {
+                    host: host.to_string(),
+                    reservation: Grps(grps),
+                });
+            }
+            "--backend" => match value.parse() {
+                Ok(addr) => backends.push(addr),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(listen), Some(control)) = (listen, control) else {
+        return usage();
+    };
+    if sites.is_empty() || backends.is_empty() {
+        return usage();
+    }
+
+    let n_sites = sites.len();
+    let cfg = FrontendConfig {
+        listen,
+        control,
+        sites,
+        backends,
+        ..FrontendConfig::loopback(Vec::new(), Vec::new())
+    };
+    let handle = match spawn_frontend(cfg).await {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gage-rdn: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "gage-rdn: serving on {} (control {})",
+        handle.http_addr, handle.control_addr
+    );
+
+    // Periodic status line until interrupted.
+    let mut ticker = tokio::time::interval(std::time::Duration::from_secs(5));
+    ticker.tick().await; // immediate first tick
+    loop {
+        tokio::select! {
+            _ = ticker.tick() => {
+                for i in 0..n_sites {
+                    let c = handle.counters(SubscriberId(i as u32));
+                    println!(
+                        "  sub{}: accepted={} dropped={} dispatched={} completed={}",
+                        i, c.accepted, c.dropped, c.dispatched, c.completed
+                    );
+                }
+            }
+            r = tokio::signal::ctrl_c() => {
+                if r.is_ok() {
+                    println!("gage-rdn: shutting down");
+                }
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The Gage back-end (RPN) binary.
+//!
+//! ```text
+//! gage-rpn --listen 127.0.0.1:9001 --report-to 127.0.0.1:8100 \
+//!          [--base-cpu-us 1490] [--per-kib-cpu-us 55] [--disk-us 0]
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gage_rt::backend::{spawn_backend, BackendConfig, BackendCost};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gage-rpn --listen ADDR [--report-to ADDR] \
+         [--base-cpu-us N] [--per-kib-cpu-us N] [--disk-us N] [--acct-ms N]"
+    );
+    ExitCode::from(2)
+}
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() -> ExitCode {
+    let mut listen: Option<SocketAddr> = None;
+    let mut report_to: Option<SocketAddr> = None;
+    let mut cost = BackendCost::default();
+    let mut acct_ms: u64 = 100;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--listen" => listen = value.parse().ok(),
+            "--report-to" => report_to = value.parse().ok(),
+            "--base-cpu-us" => match value.parse() {
+                Ok(v) => cost.base_cpu_us = v,
+                Err(_) => return usage(),
+            },
+            "--per-kib-cpu-us" => match value.parse() {
+                Ok(v) => cost.per_kib_cpu_us = v,
+                Err(_) => return usage(),
+            },
+            "--disk-us" => match value.parse() {
+                Ok(v) => cost.disk_us = v,
+                Err(_) => return usage(),
+            },
+            "--acct-ms" => match value.parse() {
+                Ok(v) => acct_ms = v,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(listen) = listen else {
+        return usage();
+    };
+
+    let cfg = BackendConfig {
+        listen,
+        report_to,
+        accounting_cycle: Duration::from_millis(acct_ms),
+        cost,
+        ..Default::default()
+    };
+    let handle = match spawn_backend(cfg).await {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gage-rpn: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("gage-rpn: serving on {}", handle.http_addr);
+
+    let mut ticker = tokio::time::interval(Duration::from_secs(5));
+    ticker.tick().await;
+    loop {
+        tokio::select! {
+            _ = ticker.tick() => {
+                println!("  served={} total requests", handle.served());
+            }
+            r = tokio::signal::ctrl_c() => {
+                if r.is_ok() {
+                    println!("gage-rpn: shutting down");
+                }
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+}

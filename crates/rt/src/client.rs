@@ -1,0 +1,200 @@
+//! The open-loop load generator (Banga–Druschel style): issues requests at
+//! a constant rate regardless of completions, so overload actually
+//! overloads.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tokio::io::AsyncWriteExt;
+use tokio::net::TcpStream;
+
+use crate::http::{read_response, RequestHead};
+
+/// Load-generation parameters for one site.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Front-end address.
+    pub target: SocketAddr,
+    /// Host header to send (selects the subscriber).
+    pub host: String,
+    /// Requests per second.
+    pub rate: f64,
+    /// How long to generate load.
+    pub duration: Duration,
+    /// Response size to request.
+    pub size: u64,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl ClientConfig {
+    /// A sane default against `target` for `host`.
+    pub fn new(target: SocketAddr, host: impl Into<String>, rate: f64) -> Self {
+        ClientConfig {
+            target,
+            host: host.into(),
+            rate,
+            duration: Duration::from_secs(5),
+            size: 6 * 1024,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated load results.
+#[derive(Debug, Clone, Default)]
+pub struct LoadStats {
+    /// Requests issued.
+    pub attempted: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 503 responses (dropped by the front end).
+    pub dropped: u64,
+    /// Other failures (connect errors, timeouts, non-200/503).
+    pub errors: u64,
+    /// Total body bytes received.
+    pub bytes: u64,
+    /// Sum of latencies of `ok` responses.
+    pub latency_sum: Duration,
+    /// Maximum latency of `ok` responses.
+    pub latency_max: Duration,
+}
+
+impl LoadStats {
+    /// Mean latency of successful requests.
+    pub fn mean_latency(&self) -> Duration {
+        if self.ok == 0 {
+            Duration::ZERO
+        } else {
+            self.latency_sum / self.ok as u32
+        }
+    }
+
+    /// Goodput in requests/second over `elapsed`.
+    pub fn goodput(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs an open-loop load generation session and returns the stats.
+pub async fn run_load(cfg: ClientConfig) -> LoadStats {
+    let stats = Arc::new(Mutex::new(LoadStats::default()));
+    let mut tick = tokio::time::interval(Duration::from_secs_f64(1.0 / cfg.rate.max(0.001)));
+    tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Burst);
+    let deadline = Instant::now() + cfg.duration;
+    let mut workers = Vec::new();
+    while Instant::now() < deadline {
+        tick.tick().await;
+        let stats = Arc::clone(&stats);
+        let cfg = cfg.clone();
+        stats.lock().attempted += 1;
+        workers.push(tokio::spawn(async move {
+            let started = Instant::now();
+            let outcome = tokio::time::timeout(cfg.timeout, one_request(&cfg)).await;
+            let mut s = stats.lock();
+            match outcome {
+                Ok(Ok((200, body))) => {
+                    let lat = started.elapsed();
+                    s.ok += 1;
+                    s.bytes += body;
+                    s.latency_sum += lat;
+                    s.latency_max = s.latency_max.max(lat);
+                }
+                Ok(Ok((503, _))) => s.dropped += 1,
+                _ => s.errors += 1,
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.await;
+    }
+    let final_stats = stats.lock().clone();
+    final_stats
+}
+
+/// Replays a [`gage_workload::Trace`] open-loop against `target`: each
+/// entry is issued at its recorded offset (relative to the replay start)
+/// with its own host, path and size. Returns aggregate stats.
+pub async fn replay_trace(
+    target: SocketAddr,
+    trace: &gage_workload::Trace,
+    timeout: Duration,
+) -> LoadStats {
+    let stats = Arc::new(Mutex::new(LoadStats::default()));
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for e in &trace.entries {
+        let at = Duration::from_micros(e.at_us);
+        if let Some(wait) = at.checked_sub(start.elapsed()) {
+            tokio::time::sleep(wait).await;
+        }
+        stats.lock().attempted += 1;
+        let stats = Arc::clone(&stats);
+        let host = e.host.clone();
+        let path = e.path.clone();
+        let size = e.size_bytes;
+        workers.push(tokio::spawn(async move {
+            let started = Instant::now();
+            let outcome = tokio::time::timeout(timeout, async {
+                let mut stream = TcpStream::connect(target).await?;
+                let mut head = RequestHead::get(&path, &host, Some(size));
+                head.headers
+                    .insert("x-size".to_string(), size.to_string());
+                stream.write_all(&head.to_bytes()).await?;
+                read_response(&mut stream).await.map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })
+            })
+            .await;
+            let mut s = stats.lock();
+            match outcome {
+                Ok(Ok((200, body))) => {
+                    let lat = started.elapsed();
+                    s.ok += 1;
+                    s.bytes += body;
+                    s.latency_sum += lat;
+                    s.latency_max = s.latency_max.max(lat);
+                }
+                Ok(Ok((503, _))) => s.dropped += 1,
+                _ => s.errors += 1,
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.await;
+    }
+    let out = stats.lock().clone();
+    out
+}
+
+async fn one_request(cfg: &ClientConfig) -> std::io::Result<(u16, u64)> {
+    let mut stream = TcpStream::connect(cfg.target).await?;
+    let head = RequestHead::get("/load", &cfg.host, Some(cfg.size));
+    stream.write_all(&head.to_bytes()).await?;
+    // Half-close our side so HTTP/1.0 close-delimited reads terminate.
+    read_response(&mut stream)
+        .await
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_math() {
+        let mut s = LoadStats::default();
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+        s.ok = 4;
+        s.latency_sum = Duration::from_millis(100);
+        assert_eq!(s.mean_latency(), Duration::from_millis(25));
+        assert!((s.goodput(Duration::from_secs(2)) - 2.0).abs() < 1e-12);
+        assert_eq!(s.goodput(Duration::ZERO), 0.0);
+    }
+}

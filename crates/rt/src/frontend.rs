@@ -1,0 +1,291 @@
+//! The front-end request distribution server (RDN role).
+//!
+//! Accepts client connections, reads the request head, classifies by Host,
+//! queues the connection in its subscriber's queue, and lets the
+//! `gage-core` scheduler decide — every scheduling cycle — which queued
+//! connections to dispatch to which back end. Dispatched connections are
+//! spliced (application-level relay) to the chosen back end. Accounting
+//! reports arrive over a control listener and reconcile the scheduler's
+//! balances.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gage_core::config::SchedulerConfig;
+use gage_core::node::{NodeScheduler, RpnId};
+use gage_core::resource::{Grps, ResourceVector};
+use gage_core::scheduler::{RequestScheduler, SubscriberCounters};
+use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
+use parking_lot::Mutex;
+use tokio::io::BufReader;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::task::JoinHandle;
+
+use crate::backend::format_pred;
+use crate::http::{read_request_head, write_error_response, RequestHead};
+use crate::proto::{recv_msg, ControlMsg};
+use crate::relay::splice;
+
+/// One hosted site.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Classification host name.
+    pub host: String,
+    /// Reservation in GRPS.
+    pub reservation: Grps,
+}
+
+/// Front-end configuration.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Client-facing HTTP listen address.
+    pub listen: SocketAddr,
+    /// Control listen address for back-end registrations/reports.
+    pub control: SocketAddr,
+    /// Hosted sites.
+    pub sites: Vec<SiteConfig>,
+    /// Back-end HTTP addresses (index = `RpnId`).
+    pub backends: Vec<SocketAddr>,
+    /// Scheduler tunables.
+    pub scheduler: SchedulerConfig,
+    /// Per-backend capacity estimate for load balancing / spare gating.
+    pub backend_capacity: ResourceVector,
+}
+
+impl FrontendConfig {
+    /// A loopback configuration with ephemeral ports.
+    pub fn loopback(sites: Vec<SiteConfig>, backends: Vec<SocketAddr>) -> Self {
+        FrontendConfig {
+            listen: "127.0.0.1:0".parse().expect("valid literal address"),
+            control: "127.0.0.1:0".parse().expect("valid literal address"),
+            sites,
+            backends,
+            scheduler: SchedulerConfig::default(),
+            backend_capacity: ResourceVector::new(1e6, 1e6, 12.5e6),
+        }
+    }
+}
+
+/// A queued client connection awaiting dispatch.
+#[derive(Debug)]
+struct QueuedConn {
+    stream: TcpStream,
+    head: RequestHead,
+    size: u64,
+}
+
+type SharedScheduler = Arc<Mutex<RequestScheduler<QueuedConn>>>;
+
+/// A running front end; aborts its tasks on drop.
+#[derive(Debug)]
+pub struct FrontendHandle {
+    /// The bound client-facing address.
+    pub http_addr: SocketAddr,
+    /// The bound control address (give this to back ends).
+    pub control_addr: SocketAddr,
+    scheduler: SharedScheduler,
+    tasks: Vec<JoinHandle<()>>,
+}
+
+impl FrontendHandle {
+    /// Lifetime counters for one subscriber.
+    pub fn counters(&self, sub: SubscriberId) -> SubscriberCounters {
+        self.scheduler.lock().counters(sub)
+    }
+
+    /// Stops the server.
+    pub fn shutdown(&self) {
+        for t in &self.tasks {
+            t.abort();
+        }
+    }
+}
+
+impl Drop for FrontendHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts a front end and returns its handle once both listeners are bound.
+///
+/// # Errors
+///
+/// Fails if a listen address cannot be bound or a site host is duplicated.
+pub async fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
+    let listener = TcpListener::bind(cfg.listen).await?;
+    let control_listener = TcpListener::bind(cfg.control).await?;
+    let http_addr = listener.local_addr()?;
+    let control_addr = control_listener.local_addr()?;
+
+    let mut registry = SubscriberRegistry::new();
+    for s in &cfg.sites {
+        registry
+            .register(s.host.clone(), s.reservation)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    }
+    let mut nodes = NodeScheduler::new(cfg.scheduler.node_lookahead_secs);
+    for _ in &cfg.backends {
+        nodes.add_rpn(cfg.backend_capacity);
+    }
+    let scheduler: SharedScheduler = Arc::new(Mutex::new(RequestScheduler::new(
+        &registry,
+        cfg.scheduler,
+        nodes,
+    )));
+    let registry = Arc::new(registry);
+    let backends = Arc::new(cfg.backends.clone());
+
+    let mut tasks = Vec::new();
+
+    // Accept loop: classify and enqueue.
+    {
+        let scheduler = Arc::clone(&scheduler);
+        let registry = Arc::clone(&registry);
+        tasks.push(tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let scheduler = Arc::clone(&scheduler);
+                let registry = Arc::clone(&registry);
+                tokio::spawn(async move {
+                    let _ = classify_and_enqueue(stream, &scheduler, &registry).await;
+                });
+            }
+        }));
+    }
+
+    // Scheduling cycle.
+    {
+        let scheduler = Arc::clone(&scheduler);
+        let backends = Arc::clone(&backends);
+        let cycle = Duration::from_secs_f64(cfg.scheduler.scheduling_cycle_secs);
+        tasks.push(tokio::spawn(async move {
+            let mut ticker = tokio::time::interval(cycle);
+            ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+            loop {
+                ticker.tick().await;
+                let dispatches = scheduler.lock().run_cycle(cycle.as_secs_f64());
+                for d in dispatches {
+                    let Some(&addr) = backends.get(d.rpn.0 as usize) else {
+                        continue;
+                    };
+                    tokio::spawn(dispatch_one(d.request, d.subscriber, d.predicted, addr));
+                }
+            }
+        }));
+    }
+
+    // Control listener: registrations and reports.
+    {
+        let scheduler = Arc::clone(&scheduler);
+        let backends = Arc::clone(&backends);
+        tasks.push(tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = control_listener.accept().await else {
+                    break;
+                };
+                let scheduler = Arc::clone(&scheduler);
+                let backends = Arc::clone(&backends);
+                tokio::spawn(async move {
+                    let _ = control_conn(stream, &scheduler, &backends).await;
+                });
+            }
+        }));
+    }
+
+    Ok(FrontendHandle {
+        http_addr,
+        control_addr,
+        scheduler,
+        tasks,
+    })
+}
+
+async fn classify_and_enqueue(
+    mut stream: TcpStream,
+    scheduler: &SharedScheduler,
+    registry: &SubscriberRegistry,
+) -> std::io::Result<()> {
+    let Ok((head, _rest)) = read_request_head(&mut stream).await else {
+        let _ = write_error_response(&mut stream, "400 Bad Request").await;
+        return Ok(());
+    };
+    let Some(host) = head.host() else {
+        let _ = write_error_response(&mut stream, "400 Bad Request").await;
+        return Ok(());
+    };
+    let Some(sub) = registry.classify_host(&host) else {
+        let _ = write_error_response(&mut stream, "404 Not Found").await;
+        return Ok(());
+    };
+    let size = head.size_hint().unwrap_or(6 * 1024);
+    let queued = QueuedConn { stream, head, size };
+    // Hold the lock only for the enqueue itself (the guard is not Send, so
+    // it must be released before any await).
+    let rejected = scheduler.lock().enqueue(sub, queued).err();
+    if let Some(rejected) = rejected {
+        // Queue full: this is the paper's "dropped" outcome.
+        let mut stream = rejected.stream;
+        let _ = write_error_response(&mut stream, "503 Service Unavailable").await;
+    }
+    Ok(())
+}
+
+async fn dispatch_one(
+    mut conn: QueuedConn,
+    sub: SubscriberId,
+    predicted: ResourceVector,
+    backend_addr: SocketAddr,
+) {
+    let Ok(mut upstream) = TcpStream::connect(backend_addr).await else {
+        let _ = write_error_response(&mut conn.stream, "502 Bad Gateway").await;
+        return;
+    };
+    // Forward the head with Gage's bookkeeping headers.
+    let mut head = conn.head.clone();
+    head.headers
+        .insert("x-gage-sub".to_string(), sub.0.to_string());
+    head.headers
+        .insert("x-gage-pred".to_string(), format_pred(predicted));
+    head.headers
+        .insert("x-size".to_string(), conn.size.to_string());
+    use tokio::io::AsyncWriteExt;
+    if upstream.write_all(&head.to_bytes()).await.is_err() {
+        let _ = write_error_response(&mut conn.stream, "502 Bad Gateway").await;
+        return;
+    }
+    // Application-level splice until both sides close.
+    let _ = splice(&mut conn.stream, &mut upstream).await;
+}
+
+async fn control_conn(
+    stream: TcpStream,
+    scheduler: &SharedScheduler,
+    backends: &[SocketAddr],
+) -> std::io::Result<()> {
+    let (rd, _wr) = stream.into_split();
+    let mut reader = BufReader::new(rd);
+    let mut rpn: Option<RpnId> = None;
+    while let Some(msg) = recv_msg(&mut reader).await? {
+        match msg {
+            ControlMsg::Register { http_addr } => {
+                rpn = http_addr
+                    .parse::<SocketAddr>()
+                    .ok()
+                    .and_then(|addr| backends.iter().position(|b| *b == addr))
+                    .map(|i| RpnId(i as u16));
+            }
+            ControlMsg::Report { mut report } => {
+                let Some(rpn) = rpn else {
+                    continue; // unregistered peer: ignore
+                };
+                report.rpn = rpn;
+                scheduler.lock().on_report(&report);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! The RPN → RDN control protocol: newline-delimited JSON messages over a
+//! persistent TCP connection.
+
+use gage_core::accounting::UsageReport;
+use serde::{Deserialize, Serialize};
+use tokio::io::{AsyncBufReadExt, AsyncWrite, AsyncWriteExt, BufReader};
+use tokio::net::tcp::OwnedReadHalf;
+
+/// Messages a back end sends the front end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ControlMsg {
+    /// First message on the control connection: which HTTP address this
+    /// back end serves on (the front end maps it to an `RpnId`).
+    Register {
+        /// The back end's HTTP listen address, e.g. `127.0.0.1:9001`.
+        http_addr: String,
+    },
+    /// An accounting-cycle usage report.
+    Report {
+        /// The report body (the `rpn` field is overwritten by the front end
+        /// with the id it assigned at registration).
+        report: UsageReport,
+    },
+}
+
+/// Serializes one message as a JSON line.
+///
+/// # Errors
+///
+/// Propagates transport errors; serialization of these types cannot fail.
+pub async fn send_msg<W>(writer: &mut W, msg: &ControlMsg) -> std::io::Result<()>
+where
+    W: AsyncWrite + Unpin,
+{
+    let mut line = serde_json::to_vec(msg).expect("control messages serialize");
+    line.push(b'\n');
+    writer.write_all(&line).await?;
+    writer.flush().await
+}
+
+/// Reads the next message, or `None` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates transport errors; malformed lines are reported as
+/// `InvalidData`.
+pub async fn recv_msg(
+    reader: &mut BufReader<OwnedReadHalf>,
+) -> std::io::Result<Option<ControlMsg>> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).await?;
+    if n == 0 {
+        return Ok(None);
+    }
+    serde_json::from_str(line.trim_end())
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gage_core::node::RpnId;
+    use gage_core::resource::ResourceVector;
+
+    #[test]
+    fn round_trip_json() {
+        let msg = ControlMsg::Report {
+            report: UsageReport {
+                rpn: RpnId(3),
+                total: ResourceVector::new(1.0, 2.0, 3.0),
+                outstanding_predicted: ResourceVector::new(4.0, 5.0, 6.0),
+                per_subscriber: vec![],
+            },
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: ControlMsg = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[tokio::test]
+    async fn send_recv_over_tcp() {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = tokio::spawn(async move {
+            let mut stream = tokio::net::TcpStream::connect(addr).await.unwrap();
+            send_msg(
+                &mut stream,
+                &ControlMsg::Register {
+                    http_addr: "127.0.0.1:9001".into(),
+                },
+            )
+            .await
+            .unwrap();
+        });
+        let (stream, _) = listener.accept().await.unwrap();
+        let (rd, _wr) = stream.into_split();
+        let mut reader = BufReader::new(rd);
+        let msg = recv_msg(&mut reader).await.unwrap().unwrap();
+        client.await.unwrap();
+        assert_eq!(
+            msg,
+            ControlMsg::Register {
+                http_addr: "127.0.0.1:9001".into()
+            }
+        );
+        // EOF after the client hangs up.
+        assert!(recv_msg(&mut reader).await.unwrap().is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload generation for the Gage reproduction.
+//!
+//! The paper evaluates with two workload types (§4): **synthetic** —
+//! constant-rate requests for fixed-size files — and **realistic** — a trace
+//! derived from SPECWeb99, replayed at a constant rate in the open-loop
+//! style of Banga & Druschel ("Measuring the Capacity of a Web Server").
+//!
+//! SPECWeb99 itself is proprietary, so [`specweb`] provides a generator with
+//! the benchmark's published *shape*: four file classes (0.1–0.9 KB, 1–9 KB,
+//! 10–90 KB, 100–900 KB) with the 35/50/14/1 % class mix, Zipf-distributed
+//! directory popularity and per-class file popularity. That heavy-tailed mix
+//! is what exercises Gage's usage *prediction* error — exactly the effect
+//! Figure 3's SPECWeb99 line measures.
+//!
+//! * [`zipf`] — a from-scratch Zipf sampler (inverse-CDF over a precomputed
+//!   table),
+//! * [`fileset`] — per-site SPECWeb99-shaped file populations,
+//! * [`arrival`] — open-loop arrival processes (constant, Poisson, on-off),
+//! * [`synthetic`] — the fixed-size synthetic workload,
+//! * [`specweb`] — the SPECWeb99-shaped request generator,
+//! * [`trace`] — timestamped request traces with JSON save/load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod fileset;
+pub mod specweb;
+pub mod synthetic;
+pub mod trace;
+pub mod zipf;
+
+pub use arrival::ArrivalProcess;
+pub use specweb::SpecWebGenerator;
+pub use synthetic::SyntheticGenerator;
+pub use trace::{Trace, TraceEntry};
+
+/// A generated request: what is fetched and how large the response will be.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GeneratedRequest {
+    /// Request path (e.g. `/dir0004/class1_3`).
+    pub path: String,
+    /// Response body size in bytes.
+    pub size_bytes: u64,
+}
+
+/// A source of requests for one subscriber's site.
+pub trait RequestGenerator {
+    /// Draws the next request.
+    fn next_request(&mut self, rng: &mut dyn rand::RngCore) -> GeneratedRequest;
+}

@@ -1,0 +1,195 @@
+//! Timestamped request traces with JSON persistence.
+//!
+//! The paper's clients "load the trace from a file and issue requests to
+//! Gage at a constant rate". [`Trace::generate`] combines an arrival process
+//! with a request generator to produce such a trace; [`Trace::save_json`] /
+//! [`Trace::load_json`] persist it. Timestamps are integer microseconds so
+//! traces round-trip bit-exactly through JSON.
+
+use std::io::{Read, Write};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::ArrivalProcess;
+use crate::{GeneratedRequest, RequestGenerator};
+
+/// One timestamped request against one host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Issue time, microseconds from trace start.
+    pub at_us: u64,
+    /// Target host (classification key).
+    pub host: String,
+    /// Request path.
+    pub path: String,
+    /// Response size the server will produce, bytes.
+    pub size_bytes: u64,
+}
+
+impl TraceEntry {
+    /// Issue time in seconds.
+    pub fn at_secs(&self) -> f64 {
+        self.at_us as f64 / 1e6
+    }
+}
+
+/// An ordered request trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Entries sorted by `at_us`.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Generates a trace for `host`: arrivals from `process` over
+    /// `horizon_secs`, requests from `generator`.
+    pub fn generate<G, R>(
+        host: &str,
+        process: ArrivalProcess,
+        horizon_secs: f64,
+        generator: &mut G,
+        rng: &mut R,
+    ) -> Self
+    where
+        G: RequestGenerator + ?Sized,
+        R: Rng,
+    {
+        let entries = process
+            .arrivals(horizon_secs, rng)
+            .into_iter()
+            .map(|at| {
+                let GeneratedRequest { path, size_bytes } = generator.next_request(rng);
+                TraceEntry {
+                    at_us: (at * 1e6).round() as u64,
+                    host: host.to_string(),
+                    path,
+                    size_bytes,
+                }
+            })
+            .collect();
+        Trace { entries }
+    }
+
+    /// Merges several traces into one, re-sorted by time (stable, so
+    /// same-instant entries keep their per-trace order).
+    pub fn merge(traces: impl IntoIterator<Item = Trace>) -> Self {
+        let mut entries: Vec<TraceEntry> =
+            traces.into_iter().flat_map(|t| t.entries).collect();
+        entries.sort_by_key(|e| e.at_us);
+        Trace { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the trace has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Duration covered (time of the last entry), seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.entries.last().map_or(0.0, TraceEntry::at_secs)
+    }
+
+    /// Mean offered rate over the covered duration, requests/second.
+    pub fn mean_rate(&self) -> f64 {
+        let d = self.duration_secs();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.len() as f64 / d
+        }
+    }
+
+    /// Writes the trace as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save_json<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer(writer, self)
+    }
+
+    /// Reads a trace written by [`Trace::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn load_json<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
+        serde_json::from_reader(reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_trace() -> Trace {
+        let mut g = SyntheticGenerator::new(6144, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        Trace::generate(
+            "site1.example.com",
+            ArrivalProcess::Constant { rate: 50.0 },
+            2.0,
+            &mut g,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn generate_constant_rate() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 100);
+        assert!((t.mean_rate() - 50.0).abs() < 1.0);
+        assert!(t.entries.iter().all(|e| e.host == "site1.example.com"));
+        assert!(t.entries.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(t.entries[1].at_us, 20_000, "50/s spacing is 20ms");
+    }
+
+    #[test]
+    fn merge_interleaves_sorted() {
+        let mut g = SyntheticGenerator::new(100, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Trace::generate(
+            "a.com",
+            ArrivalProcess::Constant { rate: 10.0 },
+            1.0,
+            &mut g,
+            &mut rng,
+        );
+        let b = Trace::generate(
+            "b.com",
+            ArrivalProcess::Constant { rate: 7.0 },
+            1.0,
+            &mut g,
+            &mut rng,
+        );
+        let m = Trace::merge([a.clone(), b.clone()]);
+        assert_eq!(m.len(), a.len() + b.len());
+        assert!(m.entries.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.save_json(&mut buf).unwrap();
+        let back = Trace::load_json(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.duration_secs(), 0.0);
+        assert_eq!(t.mean_rate(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end packet-level test of distributed TCP splicing, using only the
+//! `gage-net` substrate: a client TCP endpoint talks to "the cluster", the
+//! front end emulates the first-leg handshake and hands off to a server TCP
+//! endpoint behind a splicing middlebox, and a full HTTP-ish
+//! request/response exchange completes with every packet rewritten exactly
+//! as the paper's local service manager would.
+
+use bytes::Bytes;
+use gage::net::addr::{Endpoint, Port};
+use gage::net::endpoint::{Output, TcpEndpoint, TcpState};
+use gage::net::packet::Packet;
+use gage::net::splice::SpliceMap;
+use gage::net::SeqNum;
+use std::net::Ipv4Addr;
+
+fn drain_sends(out: Vec<Output>, sink: &mut Vec<Packet>) -> Vec<Output> {
+    let mut rest = Vec::new();
+    for o in out {
+        match o {
+            Output::Send(p) => sink.push(p),
+            other => rest.push(other),
+        }
+    }
+    rest
+}
+
+#[test]
+fn spliced_connection_carries_a_full_exchange() {
+    let client_ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(40_000));
+    let cluster_ep = Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP);
+    let rpn_ip = Ipv4Addr::new(10, 0, 2, 4);
+    let rpn_ep = Endpoint::new(rpn_ip, Port::HTTP);
+
+    // --- First leg: the RDN emulates the handshake itself. ---
+    let (mut client, syn) = TcpEndpoint::connect(client_ep, cluster_ep, SeqNum::new(1_000));
+    let rdn_isn = SeqNum::new(777_777);
+    let synack = Packet::syn_ack(cluster_ep, syn.src(), rdn_isn, syn.tcp.seq + 1);
+
+    let mut client_out = Vec::new();
+    client.on_segment(&synack, &mut client_out);
+    let mut to_cluster = Vec::new();
+    let events = drain_sends(client_out, &mut to_cluster);
+    assert!(events.contains(&Output::Established));
+    assert_eq!(client.state(), TcpState::Established);
+
+    // Client sends the URL.
+    let mut out = Vec::new();
+    client.send(Bytes::from_static(b"GET /x HTTP/1.0\r\nHost: site1\r\n\r\n"), &mut out);
+    drain_sends(out, &mut to_cluster);
+
+    // --- Second leg: the RPN's local service manager accepts the
+    //     connection replayed by the front end. ---
+    let mut server = TcpEndpoint::listen(rpn_ep, SeqNum::new(123));
+    // The RDN replays the client's SYN toward the RPN (address rewritten).
+    let mut replayed_syn = syn.clone();
+    replayed_syn.rewrite_dst_ip(rpn_ip);
+    let mut server_out = Vec::new();
+    server.on_segment(&replayed_syn, &mut server_out);
+    let mut from_server = Vec::new();
+    drain_sends(server_out, &mut from_server);
+    // Absorb the server's SYN-ACK locally (the client never sees it: the
+    // RDN already answered) and complete the second-leg handshake with a
+    // locally-generated ACK.
+    let server_synack = from_server.remove(0);
+    assert!(server_synack.is_syn() && server_synack.is_ack());
+    let local_ack = Packet::ack(
+        client_ep,
+        rpn_ep,
+        server_synack.tcp.ack,
+        server_synack.tcp.seq + 1,
+    );
+    let mut server_out = Vec::new();
+    server.on_segment(&local_ack, &mut server_out);
+    assert!(drain_sends(server_out, &mut from_server).contains(&Output::Established));
+
+    // The splice: first-leg ISN (RDN's) vs second-leg ISN (RPN's).
+    let splice = SpliceMap::new(client_ep, cluster_ep, rpn_ip, rdn_isn, server.isn());
+
+    // --- Forward the buffered client packets through the splice. ---
+    let mut delivered_request = Vec::new();
+    let mut server_sends = Vec::new();
+    for pkt in to_cluster.drain(..) {
+        let mut pkt = pkt;
+        assert!(splice.remap_incoming(&mut pkt), "client packet remaps");
+        assert_eq!(pkt.dst().ip, rpn_ip);
+        let mut out = Vec::new();
+        server.on_segment(&pkt, &mut out);
+        for o in drain_sends(out, &mut server_sends) {
+            if let Output::Deliver(b) = o {
+                delivered_request.extend_from_slice(&b);
+            }
+        }
+    }
+    assert_eq!(
+        delivered_request,
+        b"GET /x HTTP/1.0\r\nHost: site1\r\n\r\n",
+        "request arrives intact at the RPN"
+    );
+
+    // --- The server responds; packets flow directly to the client. ---
+    let response = Bytes::from(vec![b'r'; 4_000]); // spans 3 MSS segments
+    let mut out = Vec::new();
+    server.send(response.clone(), &mut out);
+    drain_sends(out, &mut server_sends);
+
+    let mut delivered_response = Vec::new();
+    let mut client_acks = Vec::new();
+    for pkt in server_sends.drain(..) {
+        let mut pkt = pkt;
+        assert!(splice.remap_outgoing(&mut pkt), "server packet remaps");
+        assert_eq!(pkt.src(), cluster_ep, "client sees the cluster address");
+        let mut out = Vec::new();
+        client.on_segment(&pkt, &mut out);
+        for o in drain_sends(out, &mut client_acks) {
+            if let Output::Deliver(b) = o {
+                delivered_response.extend_from_slice(&b);
+            }
+        }
+    }
+    assert_eq!(delivered_response.len(), 4_000);
+    assert_eq!(delivered_response, response.to_vec());
+
+    // --- Client ACKs flow back through the splice; the server retires its
+    //     retransmission state. ---
+    for pkt in client_acks.drain(..) {
+        let mut pkt = pkt;
+        assert!(splice.remap_incoming(&mut pkt));
+        let mut out = Vec::new();
+        server.on_segment(&pkt, &mut out);
+        assert!(
+            out.iter().all(|o| !matches!(o, Output::Send(_))),
+            "pure ACKs need no reply"
+        );
+    }
+    assert_eq!(server.unacked_bytes(), 0, "response fully acknowledged");
+    assert!(!server.needs_retransmit_timer());
+}
