@@ -5,8 +5,12 @@
 //!   subscribers one RDN can host),
 //! * cost of the spare pass under each [`SparePolicy`],
 //! * cost of applying one accounting report.
+//!
+//! `run_cycle` consumes the queued backlog, so each measured iteration
+//! rebuilds its scheduler; the separately-reported `build_*` baseline lets
+//! the setup cost be subtracted by eye.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gage_bench::microbench::time_it;
 use gage_core::accounting::{SubscriberUsage, UsageReport};
 use gage_core::config::{SchedulerConfig, SparePolicy};
 use gage_core::node::{NodeScheduler, RpnId};
@@ -44,39 +48,32 @@ fn build_scheduler(
     sched
 }
 
-fn scheduling_cycle_vs_subscribers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_cycle_subscribers");
+fn scheduling_cycle_vs_subscribers() {
     for &n in &[1usize, 10, 100, 1_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || build_scheduler(n, 4, SparePolicy::ProportionalToReservation),
-                |mut s| s.run_cycle(0.010),
-                BatchSize::SmallInput,
-            )
+        time_it(&format!("build_{n}_subs"), || {
+            build_scheduler(n, 4, SparePolicy::ProportionalToReservation)
+        });
+        time_it(&format!("build+run_cycle_{n}_subs"), || {
+            let mut s = build_scheduler(n, 4, SparePolicy::ProportionalToReservation);
+            s.run_cycle(0.010)
         });
     }
-    group.finish();
 }
 
-fn spare_policy_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_cycle_spare_policy");
+fn spare_policy_cost() {
     for (name, policy) in [
         ("reservation", SparePolicy::ProportionalToReservation),
         ("demand", SparePolicy::ProportionalToDemand),
         ("none", SparePolicy::None),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || build_scheduler(100, 16, policy),
-                |mut s| s.run_cycle(0.010),
-                BatchSize::SmallInput,
-            )
+        time_it(&format!("build+run_cycle_spare_{name}"), || {
+            let mut s = build_scheduler(100, 16, policy);
+            s.run_cycle(0.010)
         });
     }
-    group.finish();
 }
 
-fn report_application(c: &mut Criterion) {
+fn report_application() {
     let report = UsageReport {
         rpn: RpnId(3),
         total: ResourceVector::generic_request() * 100.0,
@@ -90,19 +87,15 @@ fn report_application(c: &mut Criterion) {
             })
             .collect(),
     };
-    c.bench_function("on_report_100_subscribers", |b| {
-        b.iter_batched(
-            || build_scheduler(100, 0, SparePolicy::ProportionalToReservation),
-            |mut s| s.on_report(std::hint::black_box(&report)),
-            BatchSize::SmallInput,
-        )
+    let mut s = build_scheduler(100, 0, SparePolicy::ProportionalToReservation);
+    time_it("on_report_100_subscribers", || {
+        s.on_report(std::hint::black_box(&report))
     });
 }
 
-criterion_group!(
-    ablation,
-    scheduling_cycle_vs_subscribers,
-    spare_policy_cost,
-    report_application
-);
-criterion_main!(ablation);
+fn main() {
+    println!("Scheduler ablation\n");
+    scheduling_cycle_vs_subscribers();
+    spare_policy_cost();
+    report_application();
+}

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gage_bench::microbench::time_it;
 use gage_core::classify::{classify_packet, PacketClass};
 use gage_core::conn_table::{ConnTable, Route};
 use gage_core::node::RpnId;
@@ -43,51 +43,39 @@ fn rpn_ip() -> Ipv4Addr {
 /// RDN first-leg setup: receive a SYN off the wire, emulate the handshake
 /// (build + checksum + serialize the SYN-ACK), and track the pending
 /// connection.
-fn rdn_conn_setup(c: &mut Criterion) {
+fn rdn_conn_setup() {
     let eth = EthHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
     let syn_wire = Packet::syn(client(1), cluster(), SeqNum::new(77)).to_wire(eth);
-    c.bench_function("rdn_conn_setup", |b| {
-        b.iter_batched(
-            HashMap::<FourTuple, SeqNum>::new,
-            |mut pending| {
-                let (_eth, syn) = Packet::from_wire(&syn_wire).expect("valid SYN");
-                let isn = SeqNum::new(0xdead_beef);
-                pending.insert(syn.four_tuple(), isn);
-                let synack = Packet::syn_ack(cluster(), syn.src(), isn, syn.tcp.seq + 1);
-                synack.to_wire(eth)
-            },
-            BatchSize::SmallInput,
-        )
+    time_it("rdn_conn_setup", || {
+        let mut pending = HashMap::<FourTuple, SeqNum>::new();
+        let (_eth, syn) = Packet::from_wire(&syn_wire).expect("valid SYN");
+        let isn = SeqNum::new(0xdead_beef);
+        pending.insert(syn.four_tuple(), isn);
+        let synack = Packet::syn_ack(cluster(), syn.src(), isn, syn.tcp.seq + 1);
+        synack.to_wire(eth)
     });
 }
 
 /// RPN second-leg setup: the local service manager's listener accepts the
 /// forwarded connection and builds the splice map.
-fn rpn_conn_setup(c: &mut Criterion) {
-    let syn = Packet::syn(client(1), Endpoint::new(rpn_ip(), Port::HTTP), SeqNum::new(5));
-    c.bench_function("rpn_conn_setup", |b| {
-        b.iter_batched(
-            || TcpEndpoint::listen(Endpoint::new(rpn_ip(), Port::HTTP), SeqNum::new(9_000)),
-            |mut ep| {
-                let mut out = Vec::new();
-                ep.on_segment(&syn, &mut out);
-                let map = SpliceMap::new(
-                    client(1),
-                    cluster(),
-                    rpn_ip(),
-                    SeqNum::new(1_000),
-                    ep.isn(),
-                );
-                (out, map)
-            },
-            BatchSize::SmallInput,
-        )
+fn rpn_conn_setup() {
+    let syn = Packet::syn(
+        client(1),
+        Endpoint::new(rpn_ip(), Port::HTTP),
+        SeqNum::new(5),
+    );
+    time_it("rpn_conn_setup", || {
+        let mut ep = TcpEndpoint::listen(Endpoint::new(rpn_ip(), Port::HTTP), SeqNum::new(9_000));
+        let mut out = Vec::new();
+        ep.on_segment(&syn, &mut out);
+        let map = SpliceMap::new(client(1), cluster(), rpn_ip(), SeqNum::new(1_000), ep.isn());
+        (out, map)
     });
 }
 
 /// Request classification: decide the packet category and resolve the
 /// subscriber from the Host.
-fn classification(c: &mut Criterion) {
+fn classification() {
     let mut registry = SubscriberRegistry::new();
     for i in 0..100 {
         registry
@@ -103,20 +91,18 @@ fn classification(c: &mut Criterion) {
             b"GET /dir00042/class1_3 HTTP/1.0\r\nHost: site42.example.com\r\nX-Size: 6144\r\n\r\n",
         ),
     );
-    c.bench_function("classification", |b| {
-        b.iter(|| {
-            let class = classify_packet(std::hint::black_box(&url), false);
-            match class {
-                PacketClass::UrlRequest(info) => registry.classify_host(&info.host),
-                _ => None,
-            }
-        })
+    time_it("classification", || {
+        let class = classify_packet(std::hint::black_box(&url), false);
+        match class {
+            PacketClass::UrlRequest(info) => registry.classify_host(&info.host),
+            _ => None,
+        }
     });
 }
 
 /// Packet forwarding: connection-table lookup on a loaded table (plus the
 /// MAC rewrite decision).
-fn packet_forwarding(c: &mut Criterion) {
+fn packet_forwarding() {
     let mut table = ConnTable::new();
     for i in 0..10_000u16 {
         let t = FourTuple::new(
@@ -139,8 +125,8 @@ fn packet_forwarding(c: &mut Criterion) {
         cluster(),
     );
     assert!(table.contains(hot), "benchmark key present");
-    c.bench_function("packet_forwarding", |b| {
-        b.iter(|| table.lookup(std::hint::black_box(hot)))
+    time_it("packet_forwarding", || {
+        table.lookup(std::hint::black_box(hot))
     });
 }
 
@@ -156,25 +142,20 @@ fn splice_fixture() -> SpliceMap {
 
 /// Remap of an incoming (client → RPN) packet: destination rewrite + ACK
 /// shift.
-fn remap_incoming(c: &mut Criterion) {
+fn remap_incoming() {
     let map = splice_fixture();
     let pkt = Packet::ack(client(1), cluster(), SeqNum::new(123), SeqNum::new(5_018));
-    c.bench_function("remap_incoming", |b| {
-        b.iter_batched(
-            || pkt.clone(),
-            |mut p| {
-                let ok = map.remap_incoming(&mut p);
-                assert!(ok);
-                p
-            },
-            BatchSize::SmallInput,
-        )
+    time_it("remap_incoming", || {
+        let mut p = pkt.clone();
+        let ok = map.remap_incoming(&mut p);
+        assert!(ok);
+        p
     });
 }
 
 /// Remap of an outgoing (RPN → client) packet: source rewrite + sequence
 /// shift (the larger cost in the paper, as it sits on the data path).
-fn remap_outgoing(c: &mut Criterion) {
+fn remap_outgoing() {
     let map = splice_fixture();
     let pkt = Packet::data(
         Endpoint::new(rpn_ip(), Port::HTTP),
@@ -183,26 +164,20 @@ fn remap_outgoing(c: &mut Criterion) {
         SeqNum::new(123),
         bytes::Bytes::from_static(&[0u8; 1460]),
     );
-    c.bench_function("remap_outgoing", |b| {
-        b.iter_batched(
-            || pkt.clone(),
-            |mut p| {
-                let ok = map.remap_outgoing(&mut p);
-                assert!(ok);
-                p
-            },
-            BatchSize::SmallInput,
-        )
+    time_it("remap_outgoing", || {
+        let mut p = pkt.clone();
+        let ok = map.remap_outgoing(&mut p);
+        assert!(ok);
+        p
     });
 }
 
-criterion_group!(
-    table3,
-    rdn_conn_setup,
-    rpn_conn_setup,
-    classification,
-    packet_forwarding,
-    remap_incoming,
-    remap_outgoing
-);
-criterion_main!(table3);
+fn main() {
+    println!("Table 3 — per-connection / per-packet overheads\n");
+    rdn_conn_setup();
+    rpn_conn_setup();
+    classification();
+    packet_forwarding();
+    remap_incoming();
+    remap_outgoing();
+}

@@ -17,7 +17,10 @@ fn main() {
     println!("\n--- Table 2: spare resource allocation ---");
     let t2 = table2::run(seed);
     print!("{}", table2::render(&t2));
-    println!("spare ratio {:.2} (reservations 1.25)", t2[0].spare / t2[1].spare);
+    println!(
+        "spare ratio {:.2} (reservations 1.25)",
+        t2[0].spare / t2[1].spare
+    );
 
     println!("\n--- Figure 3: deviation from ideal reservation ---");
     print!("{}", fig3::render(&fig3::run(seed)));

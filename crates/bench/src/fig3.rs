@@ -232,7 +232,11 @@ mod tests {
             );
         }
         // Fast accounting + ≥4 s interval is accurate (paper: ≤8 %).
-        assert!(fig.cycle(50).at(4) < 8.0, "50ms/4s {:.1}", fig.cycle(50).at(4));
+        assert!(
+            fig.cycle(50).at(4) < 8.0,
+            "50ms/4s {:.1}",
+            fig.cycle(50).at(4)
+        );
         assert!(
             fig.cycle(500).at(4) < 8.0,
             "500ms/4s {:.1}",

@@ -24,6 +24,7 @@
 
 pub mod common;
 pub mod fig3;
+pub mod microbench;
 pub mod overhead;
 pub mod scalability;
 pub mod table1;

@@ -137,8 +137,7 @@ pub fn render(s: &Scalability) -> String {
         })
         .collect();
     let mut out = format_table(&["RPNs", "Throughput(req/s)", "Per-RPN", "RDN CPU"], &rows);
-    let penalty =
-        100.0 * (s.per_rpn_without_gage - s.per_rpn_with_gage) / s.per_rpn_without_gage;
+    let penalty = 100.0 * (s.per_rpn_without_gage - s.per_rpn_with_gage) / s.per_rpn_without_gage;
     out.push_str(&format!(
         "\nper-RPN: {:.1} req/s with Gage vs {:.1} req/s without ({penalty:.1}% penalty; paper: 540 vs 550.5, 1.8%)\n",
         s.per_rpn_with_gage, s.per_rpn_without_gage
@@ -172,12 +171,14 @@ mod tests {
         );
         // Per-RPN penalty of Gage is small but real.
         assert!(s.per_rpn_without_gage > s.per_rpn_with_gage);
-        let penalty =
-            (s.per_rpn_without_gage - s.per_rpn_with_gage) / s.per_rpn_without_gage;
+        let penalty = (s.per_rpn_without_gage - s.per_rpn_with_gage) / s.per_rpn_without_gage;
         assert!(penalty < 0.06, "penalty {:.1}%", penalty * 100.0);
         // Utilization grows with throughput and accelerates near the top.
         let u: Vec<f64> = s.points.iter().map(|p| p.rdn_utilization).collect();
-        assert!(u[7] > u[3] && u[3] > u[0], "utilization not increasing: {u:?}");
+        assert!(
+            u[7] > u[3] && u[3] > u[0],
+            "utilization not increasing: {u:?}"
+        );
         let early_slope = (u[3] - u[0]) / 3.0;
         let late_slope = u[7] - u[6];
         assert!(

@@ -118,7 +118,11 @@ mod tests {
         }
         // The overloaded site is partially served, partially dropped.
         let s3 = &rows[2];
-        assert!(s3.served > 300.0 && s3.served < 390.0, "site3 served {}", s3.served);
+        assert!(
+            s3.served > 300.0 && s3.served < 390.0,
+            "site3 served {}",
+            s3.served
+        );
         assert!(s3.dropped > 5.0, "site3 dropped {}", s3.dropped);
     }
 }

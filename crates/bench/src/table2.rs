@@ -27,10 +27,8 @@ pub struct Row {
 }
 
 /// The paper's published Table 2 (reservation, input, served, spare).
-pub const PAPER: [(f64, f64, f64, f64); 2] = [
-    (250.0, 424.6, 422.2, 172.2),
-    (200.0, 364.5, 342.4, 142.1),
-];
+pub const PAPER: [(f64, f64, f64, f64); 2] =
+    [(250.0, 424.6, 422.2, 172.2), (200.0, 364.5, 342.4, 142.1)];
 
 /// Runs the experiment with the given spare policy (the paper's is
 /// [`SparePolicy::ProportionalToReservation`]; others for ablation).
@@ -110,8 +108,16 @@ mod tests {
     #[test]
     fn spare_ratio_tracks_reservations() {
         let rows = run(7);
-        assert!(rows[0].served >= 245.0, "site1 under-reserved: {:?}", rows[0]);
-        assert!(rows[1].served >= 195.0, "site2 under-reserved: {:?}", rows[1]);
+        assert!(
+            rows[0].served >= 245.0,
+            "site1 under-reserved: {:?}",
+            rows[0]
+        );
+        assert!(
+            rows[1].served >= 195.0,
+            "site2 under-reserved: {:?}",
+            rows[1]
+        );
         let ratio = rows[0].spare / rows[1].spare;
         assert!(
             (ratio - 1.25).abs() < 0.3,

@@ -4,7 +4,7 @@
 //! I/O time — the main source of per-request resource variability under the
 //! SPECWeb99-shaped workload.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// LRU cache keyed by file path with a total byte budget.
 ///
@@ -21,7 +21,7 @@ pub struct LruCache {
     capacity_bytes: u64,
     used_bytes: u64,
     /// path -> (size, last-use stamp)
-    entries: HashMap<String, (u64, u64)>,
+    entries: BTreeMap<String, (u64, u64)>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -33,7 +33,7 @@ impl LruCache {
         LruCache {
             capacity_bytes,
             used_bytes: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -67,7 +67,8 @@ impl LruCache {
                 self.used_bytes -= sz;
             }
         }
-        self.entries.insert(path.to_string(), (size_bytes, self.clock));
+        self.entries
+            .insert(path.to_string(), (size_bytes, self.clock));
         self.used_bytes += size_bytes;
         false
     }

@@ -167,9 +167,7 @@ pub fn deviation_for_interval(
     let lo = (from.as_nanos() / bw) as usize;
     let hi = (to.as_nanos() / bw) as usize;
     let bins = observed_usage.bins();
-    let slice: Vec<f64> = (lo..hi.min(bins.len()))
-        .map(|i| bins[i])
-        .collect();
+    let slice: Vec<f64> = (lo..hi.min(bins.len())).map(|i| bins[i]).collect();
     let window_secs = interval.as_secs_f64();
     let rates: Vec<f64> = slice
         .chunks_exact(bins_per_window)

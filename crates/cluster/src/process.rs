@@ -9,7 +9,7 @@
 //! exit dynamically (CGI children), and their usage still rolls up to the
 //! entity through the process tree.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gage_core::resource::ResourceVector;
 use gage_core::subscriber::SubscriberId;
@@ -118,8 +118,8 @@ impl ProcessTable {
     /// The accounting-cycle rollup: sums and clears pending usage per
     /// charging entity (traversing parent links for inherited membership),
     /// and reaps exited processes' state.
-    pub fn rollup(&mut self) -> HashMap<SubscriberId, ResourceVector> {
-        let mut out: HashMap<SubscriberId, ResourceVector> = HashMap::new();
+    pub fn rollup(&mut self) -> BTreeMap<SubscriberId, ResourceVector> {
+        let mut out: BTreeMap<SubscriberId, ResourceVector> = BTreeMap::new();
         for i in 0..self.processes.len() {
             let pending = self.processes[i].pending;
             if pending == ResourceVector::ZERO {

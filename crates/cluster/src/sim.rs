@@ -25,7 +25,7 @@
 //! [`Packet`] values through real classification, connection-table and
 //! splice-remap code.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use gage_core::accounting::{SubscriberUsage, UsageReport};
@@ -151,7 +151,7 @@ struct Rpn {
     cache: Option<LruCache>,
     processes: ProcessTable,
     workers: Vec<Pid>,
-    active: HashMap<FourTuple, ActiveReq>,
+    active: BTreeMap<FourTuple, ActiveReq>,
     isn_counter: u32,
     cycle: Vec<CycleAccum>,
     total_cycle_usage: ResourceVector,
@@ -163,7 +163,7 @@ struct Rpn {
 #[derive(Debug)]
 struct ClientSide {
     /// Outstanding requests keyed by their client→cluster tuple.
-    pending: HashMap<FourTuple, SimTime>,
+    pending: BTreeMap<FourTuple, SimTime>,
     issued: u64,
 }
 
@@ -176,11 +176,11 @@ pub struct World {
     cluster_ep: Endpoint,
     scheduler: RequestScheduler<PendingRequest>,
     conn_table: ConnTable,
-    pending_handshakes: HashMap<FourTuple, SeqNum>,
+    pending_handshakes: BTreeMap<FourTuple, SeqNum>,
     rpns: Vec<Rpn>,
     clients: Vec<ClientSide>,
     /// What each outstanding connection is requesting: (path, size, host).
-    client_url: HashMap<FourTuple, (String, u64, String)>,
+    client_url: BTreeMap<FourTuple, (String, u64, String)>,
     rr_next: usize,
     isn_counter: u32,
     /// Per-subscriber measurement series.
@@ -332,9 +332,7 @@ impl World {
                         self.secondary_rr += 1;
                         self.secondary_busy[i].add(
                             ctx.now(),
-                            SimDuration::from_secs_f64(
-                                self.params.rdn_costs.conn_setup_us / 1e6,
-                            ),
+                            SimDuration::from_secs_f64(self.params.rdn_costs.conn_setup_us / 1e6),
                         );
                     }
                     self.isn_counter = self.isn_counter.wrapping_add(88_651);
@@ -345,13 +343,7 @@ impl World {
                     let sub = self.subscriber_of_client(pkt.src());
                     let hop = self.hop();
                     if let Some(sub) = sub {
-                        ctx.schedule_in(
-                            hop,
-                            Ev::ClientPacket {
-                                sub,
-                                pkt: synack,
-                            },
-                        );
+                        ctx.schedule_in(hop, Ev::ClientPacket { sub, pkt: synack });
                     }
                 } else {
                     // The final handshake ACK: already costed with the SYN.
@@ -438,7 +430,8 @@ impl World {
         for r in 0..self.last_report.len() {
             let rpn = RpnId(r as u16);
             if self.scheduler.nodes().is_up(rpn)
-                && ctx.now().saturating_since(self.last_report[r]) > deadline + self.params.accounting_cycle
+                && ctx.now().saturating_since(self.last_report[r])
+                    > deadline + self.params.accounting_cycle
             {
                 self.scheduler.nodes_mut().set_up(rpn, false);
             }
@@ -667,13 +660,7 @@ impl World {
 
         self.conn_table.remove(conn);
         let hop = self.hop();
-        ctx.schedule_in(
-            hop,
-            Ev::ResponseArrive {
-                sub: sub.0,
-                conn,
-            },
-        );
+        ctx.schedule_in(hop, Ev::ResponseArrive { sub: sub.0, conn });
     }
 
     fn on_acct_tick(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
@@ -878,7 +865,7 @@ impl ClusterSim {
                 cache,
                 processes,
                 workers,
-                active: HashMap::new(),
+                active: BTreeMap::new(),
                 isn_counter: 7,
                 cycle: vec![CycleAccum::default(); sites.len()],
                 total_cycle_usage: ResourceVector::ZERO,
@@ -899,11 +886,11 @@ impl ClusterSim {
             cluster_ep: Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
             scheduler,
             conn_table: ConnTable::new(),
-            pending_handshakes: HashMap::new(),
+            pending_handshakes: BTreeMap::new(),
             rpns,
             clients: (0..n_sites)
                 .map(|_| ClientSide {
-                    pending: HashMap::new(),
+                    pending: BTreeMap::new(),
                     issued: 0,
                 })
                 .collect(),
@@ -921,7 +908,7 @@ impl ClusterSim {
             last_report: vec![SimTime::ZERO; params.rpn_count],
             dead_rpns: vec![false; params.rpn_count],
             lost_reports: 0,
-            client_url: HashMap::new(),
+            client_url: BTreeMap::new(),
             traces: sites.iter().map(|s| s.trace.clone()).collect(),
             registry,
             params,
@@ -991,7 +978,9 @@ impl ClusterSim {
             .map(|b| {
                 let bins = b.per_bin_utilization();
                 if hi > lo {
-                    (lo..hi).map(|i| bins.get(i).copied().unwrap_or(0.0)).sum::<f64>()
+                    (lo..hi)
+                        .map(|i| bins.get(i).copied().unwrap_or(0.0))
+                        .sum::<f64>()
                         / (hi - lo) as f64
                 } else {
                     0.0

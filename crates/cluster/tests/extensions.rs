@@ -40,9 +40,13 @@ fn secondary_rdns_offload_handshake_cpu() {
         let mut sim = ClusterSim::new(params, sites, 7);
         sim.run_until(SimTime::from_secs(15));
         let rep = sim.report(SimTime::from_secs(5), SimTime::from_secs(14));
-        let secondary_util = sim
-            .secondary_utilizations(SimTime::from_secs(5), SimTime::from_secs(14));
-        (rep.subscribers[0].served, rep.rdn_utilization, secondary_util)
+        let secondary_util =
+            sim.secondary_utilizations(SimTime::from_secs(5), SimTime::from_secs(14));
+        (
+            rep.subscribers[0].served,
+            rep.rdn_utilization,
+            secondary_util,
+        )
     };
     let (served_alone, primary_alone, _) = run(0);
     let (served_with, primary_with, secondary_util) = run(2);
@@ -58,7 +62,10 @@ fn secondary_rdns_offload_handshake_cpu() {
     );
     // The shed work actually landed on the secondaries, split evenly.
     assert_eq!(secondary_util.len(), 2);
-    assert!(secondary_util.iter().all(|&u| u > 0.001), "{secondary_util:?}");
+    assert!(
+        secondary_util.iter().all(|&u| u > 0.001),
+        "{secondary_util:?}"
+    );
     let ratio = secondary_util[0] / secondary_util[1];
     assert!(
         (0.8..=1.25).contains(&ratio),
@@ -85,7 +92,10 @@ fn report_loss_is_tolerated() {
     let (clean, lost_clean) = run(0.0);
     let (lossy, lost) = run(0.25);
     assert_eq!(lost_clean, 0);
-    assert!(lost > 10, "loss injection should actually drop reports ({lost})");
+    assert!(
+        lost > 10,
+        "loss injection should actually drop reports ({lost})"
+    );
     assert!(
         (clean - lossy).abs() / clean < 0.05,
         "throughput must survive 25% report loss: {clean:.1} vs {lossy:.1}"

@@ -105,7 +105,10 @@ fn table2_shape_spare_proportional_to_reservation() {
     // Spare split ∝ 250:200.
     let spare1 = s1.served - 250.0;
     let spare2 = s2.served - 200.0;
-    assert!(spare1 > 10.0 && spare2 > 10.0, "spare {spare1:.1}/{spare2:.1}");
+    assert!(
+        spare1 > 10.0 && spare2 > 10.0,
+        "spare {spare1:.1}/{spare2:.1}"
+    );
     let ratio = spare1 / spare2;
     assert!(
         (ratio - 1.25).abs() < 0.35,
@@ -203,8 +206,14 @@ fn accounting_cycle_staleness_raises_observed_deviation() {
         slow > fast + 20.0,
         "staleness must hurt: fast {fast:.1}% vs slow {slow:.1}%"
     );
-    assert!(slow > 80.0, "2s cycle vs 1s interval should be ≈100%, got {slow:.1}%");
-    assert!(fast < 30.0, "fresh accounting should be accurate, got {fast:.1}%");
+    assert!(
+        slow > 80.0,
+        "2s cycle vs 1s interval should be ≈100%, got {slow:.1}%"
+    );
+    assert!(
+        fast < 30.0,
+        "fresh accounting should be accurate, got {fast:.1}%"
+    );
 }
 
 #[test]

@@ -7,14 +7,12 @@
 //! are corrected from predicted to actual, per-RPN estimated-usage arrays
 //! and node outstanding loads shrink by the echoed predictions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::RpnId;
 use crate::resource::ResourceVector;
 use crate::subscriber::SubscriberId;
 
 /// One subscriber's line in an accounting message.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubscriberUsage {
     /// Whose requests.
     pub subscriber: SubscriberId,
@@ -29,7 +27,7 @@ pub struct SubscriberUsage {
 }
 
 /// An accounting-cycle message from one RPN to the RDN (paper §3.5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UsageReport {
     /// Reporting node.
     pub rpn: RpnId,
@@ -41,10 +39,31 @@ pub struct UsageReport {
     /// outstanding load from this, so estimate drift cannot accumulate —
     /// incremental settling alone leaves the level wherever transients
     /// pushed it.
-    #[serde(default)]
     pub outstanding_predicted: ResourceVector,
     /// Per-subscriber breakdown.
     pub per_subscriber: Vec<SubscriberUsage>,
+}
+
+impl SubscriberUsage {
+    /// Serializes one report line to JSON.
+    pub fn to_json(&self) -> gage_json::Json {
+        gage_json::Json::obj([
+            ("subscriber", gage_json::Json::from(self.subscriber.0)),
+            ("actual", self.actual.to_json()),
+            ("settled_predicted", self.settled_predicted.to_json()),
+            ("completed", gage_json::Json::from(self.completed)),
+        ])
+    }
+
+    /// Reads a line written by [`SubscriberUsage::to_json`].
+    pub fn from_json(v: &gage_json::Json) -> Option<Self> {
+        Some(SubscriberUsage {
+            subscriber: SubscriberId(u32::try_from(v.get("subscriber")?.as_u64()?).ok()?),
+            actual: ResourceVector::from_json(v.get("actual")?)?,
+            settled_predicted: ResourceVector::from_json(v.get("settled_predicted")?)?,
+            completed: u32::try_from(v.get("completed")?.as_u64()?).ok()?,
+        })
+    }
 }
 
 impl UsageReport {
@@ -61,6 +80,47 @@ impl UsageReport {
     /// Total completed requests across subscribers.
     pub fn completed_requests(&self) -> u32 {
         self.per_subscriber.iter().map(|s| s.completed).sum()
+    }
+
+    /// Serializes the report to JSON (the control-protocol wire form).
+    pub fn to_json(&self) -> gage_json::Json {
+        gage_json::Json::obj([
+            ("rpn", gage_json::Json::from(self.rpn.0)),
+            ("total", self.total.to_json()),
+            (
+                "outstanding_predicted",
+                self.outstanding_predicted.to_json(),
+            ),
+            (
+                "per_subscriber",
+                gage_json::Json::Arr(
+                    self.per_subscriber
+                        .iter()
+                        .map(SubscriberUsage::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a report written by [`UsageReport::to_json`]. A missing
+    /// `outstanding_predicted` field reads as zero (older senders).
+    pub fn from_json(v: &gage_json::Json) -> Option<Self> {
+        let per_subscriber = v
+            .get("per_subscriber")?
+            .as_array()?
+            .iter()
+            .map(SubscriberUsage::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(UsageReport {
+            rpn: RpnId(u16::try_from(v.get("rpn")?.as_u64()?).ok()?),
+            total: ResourceVector::from_json(v.get("total")?)?,
+            outstanding_predicted: match v.get("outstanding_predicted") {
+                Some(o) => ResourceVector::from_json(o)?,
+                None => ResourceVector::ZERO,
+            },
+            per_subscriber,
+        })
     }
 }
 
@@ -182,21 +242,15 @@ mod tests {
     fn report_helpers() {
         let mut r = UsageReport::empty(RpnId(3));
         assert_eq!(r.completed_requests(), 0);
-        r.per_subscriber.push(usage(
-            ResourceVector::ZERO,
-            ResourceVector::ZERO,
-            5,
-        ));
-        r.per_subscriber.push(usage(
-            ResourceVector::ZERO,
-            ResourceVector::ZERO,
-            2,
-        ));
+        r.per_subscriber
+            .push(usage(ResourceVector::ZERO, ResourceVector::ZERO, 5));
+        r.per_subscriber
+            .push(usage(ResourceVector::ZERO, ResourceVector::ZERO, 2));
         assert_eq!(r.completed_requests(), 7);
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = UsageReport {
             rpn: RpnId(1),
             total: ResourceVector::new(1.0, 2.0, 3.0),
@@ -207,8 +261,19 @@ mod tests {
                 9,
             )],
         };
-        let json = serde_json::to_string(&r).unwrap();
-        let back: UsageReport = serde_json::from_str(&json).unwrap();
+        let text = r.to_json().to_string();
+        let back =
+            UsageReport::from_json(&gage_json::parse(&text).expect("parses")).expect("well-formed");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_missing_outstanding_defaults_to_zero() {
+        let mut v = UsageReport::empty(RpnId(2)).to_json();
+        if let gage_json::Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "outstanding_predicted");
+        }
+        let back = UsageReport::from_json(&v).expect("still parses");
+        assert_eq!(back.outstanding_predicted, ResourceVector::ZERO);
     }
 }

@@ -79,7 +79,10 @@ pub fn parse_http_request(payload: &[u8]) -> Option<HttpRequestInfo> {
     if !version.starts_with("HTTP/") {
         return None;
     }
-    if !matches!(method, "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS") {
+    if !matches!(
+        method,
+        "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS"
+    ) {
         return None;
     }
 
@@ -205,10 +208,9 @@ mod tests {
 
     #[test]
     fn absolute_uri_wins_over_host_header() {
-        let info = parse_http_request(
-            b"GET http://primary.com/page HTTP/1.1\r\nHost: shadow.com\r\n\r\n",
-        )
-        .unwrap();
+        let info =
+            parse_http_request(b"GET http://primary.com/page HTTP/1.1\r\nHost: shadow.com\r\n\r\n")
+                .unwrap();
         assert_eq!(info.host, "primary.com");
         assert_eq!(info.path, "/page");
     }
@@ -222,8 +224,7 @@ mod tests {
 
     #[test]
     fn host_port_stripped_case_folded() {
-        let info =
-            parse_http_request(b"POST /f HTTP/1.1\r\nHost: MiXeD.CoM:81\r\n\r\n").unwrap();
+        let info = parse_http_request(b"POST /f HTTP/1.1\r\nHost: MiXeD.CoM:81\r\n\r\n").unwrap();
         assert_eq!(info.host, "mixed.com");
         assert_eq!(info.method, "POST");
     }
@@ -231,8 +232,14 @@ mod tests {
     #[test]
     fn rejects_non_http() {
         assert!(parse_http_request(b"HELO smtp.example.com\r\n").is_none());
-        assert!(parse_http_request(b"GET /x\r\n").is_none(), "missing version");
-        assert!(parse_http_request(b"GET /x HTTP/1.0\r\n\r\n").is_none(), "no host");
+        assert!(
+            parse_http_request(b"GET /x\r\n").is_none(),
+            "missing version"
+        );
+        assert!(
+            parse_http_request(b"GET /x HTTP/1.0\r\n\r\n").is_none(),
+            "no host"
+        );
         assert!(parse_http_request(&[0x80, 0x81]).is_none(), "not UTF-8");
     }
 }

@@ -5,7 +5,7 @@
 //! the connection is bridged at layer 2 straight to that RPN without
 //! re-classification.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gage_net::addr::{FourTuple, MacAddr};
 
@@ -41,7 +41,7 @@ pub struct Route {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ConnTable {
-    map: HashMap<FourTuple, Route>,
+    map: BTreeMap<FourTuple, Route>,
     lookups: u64,
     hits: u64,
 }

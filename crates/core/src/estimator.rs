@@ -8,7 +8,6 @@
 //! with a configurable prior (the generic request cost by default).
 
 use crate::resource::ResourceVector;
-use serde::{Deserialize, Serialize};
 
 /// EWMA predictor of a queue's per-request resource usage.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// // Halfway between prior and observation:
 /// assert_eq!(e.predict().cpu_us, 6_000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UsageEstimator {
     estimate: ResourceVector,
     /// Weight of a new observation, in `(0, 1]`.

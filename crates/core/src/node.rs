@@ -8,13 +8,10 @@
 //! message subtracts the RPN's reported usage.
 
 use crate::resource::ResourceVector;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a back-end request processing node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct RpnId(pub u16);
 
 impl fmt::Display for RpnId {
@@ -290,7 +287,11 @@ mod tests {
         assert_eq!(n.pick_least_loaded(pred), Some(b), "only the live node");
         assert_eq!(n.pick_least_loaded_any(), Some(b));
         assert!(!n.is_up(a));
-        assert_eq!(n.outstanding(a), ResourceVector::ZERO, "in-flight work written off");
+        assert_eq!(
+            n.outstanding(a),
+            ResourceVector::ZERO,
+            "in-flight work written off"
+        );
         n.set_up(a, true);
         assert_eq!(n.pick_least_loaded(pred), Some(a), "recovered node rejoins");
     }

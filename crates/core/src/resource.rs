@@ -6,7 +6,6 @@
 //! balances, reservations, predictions and usage reports in the scheduler
 //! are three-dimensional [`ResourceVector`]s in those units.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
@@ -27,7 +26,7 @@ pub const GENERIC_NET_BYTES: f64 = 2_000.0;
 /// assert_eq!(r.cpu_us, 20_000.0);
 /// assert!((r.generic_equivalents() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResourceVector {
     /// CPU time, microseconds.
     pub cpu_us: f64,
@@ -125,6 +124,25 @@ impl ResourceVector {
         self.max(ResourceVector::ZERO)
     }
 
+    /// Serializes to a JSON object `{"cpu_us":…,"disk_us":…,"net_bytes":…}`.
+    pub fn to_json(self) -> gage_json::Json {
+        gage_json::Json::obj([
+            ("cpu_us", gage_json::Json::Num(self.cpu_us)),
+            ("disk_us", gage_json::Json::Num(self.disk_us)),
+            ("net_bytes", gage_json::Json::Num(self.net_bytes)),
+        ])
+    }
+
+    /// Reads a vector written by [`ResourceVector::to_json`]; `None` if any
+    /// field is missing or non-numeric.
+    pub fn from_json(v: &gage_json::Json) -> Option<Self> {
+        Some(ResourceVector {
+            cpu_us: v.get("cpu_us")?.as_f64()?,
+            disk_us: v.get("disk_us")?.as_f64()?,
+            net_bytes: v.get("net_bytes")?.as_f64()?,
+        })
+    }
+
     /// The largest fraction `self[dim] / denom[dim]` across dimensions with
     /// a positive denominator; 0 if all denominators are non-positive.
     /// Used by the node scheduler as a load metric.
@@ -212,7 +230,7 @@ impl fmt::Display for ResourceVector {
 }
 
 /// A reservation expressed in generic requests per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Grps(pub f64);
 
 impl Grps {
@@ -299,7 +317,10 @@ mod tests {
     fn max_fraction_picks_bottleneck() {
         let load = ResourceVector::new(50.0, 10.0, 10.0);
         let cap = ResourceVector::new(100.0, 100.0, 10.0);
-        assert!((load.max_fraction_of(cap) - 1.0).abs() < 1e-12, "net is the bottleneck");
+        assert!(
+            (load.max_fraction_of(cap) - 1.0).abs() < 1e-12,
+            "net is the bottleneck"
+        );
         assert_eq!(load.max_fraction_of(ResourceVector::ZERO), 0.0);
     }
 }

@@ -100,7 +100,9 @@ impl<R> RequestScheduler<R> {
     /// Panics if `cfg` fails validation (see
     /// [`SchedulerConfig::validate`]); configuration is programmer input.
     pub fn new(registry: &SubscriberRegistry, cfg: SchedulerConfig, nodes: NodeScheduler) -> Self {
-        cfg.validate().expect("invalid scheduler config");
+        // Construction-time validation of programmer-supplied config,
+        // not on the per-request path.
+        cfg.validate().expect("invalid scheduler config"); // lint:allow(hot-path-panic)
         let n = registry.len();
         // Accounts must span however many RPNs get added later; size arrays
         // lazily via ensure_rpn_arrays on dispatch instead.
@@ -225,7 +227,9 @@ impl<R> RequestScheduler<R> {
                 let Some(rpn) = self.nodes.pick_least_loaded_any() else {
                     break; // no RPNs registered
                 };
-                let request = self.queues.dequeue(sub).expect("checked non-empty");
+                let Some(request) = self.queues.dequeue(sub) else {
+                    break; // checked non-empty above, but never panic here
+                };
                 self.accounts[i].book_dispatch(rpn, predicted);
                 self.nodes.commit_dispatch(rpn, predicted);
                 dispatches.push(Dispatch {
@@ -296,18 +300,16 @@ impl<R> RequestScheduler<R> {
                         self.spare_deficit[i] >= 1.0
                             && !self.queues.is_empty(SubscriberId(i as u32))
                     })
-                    .max_by(|&a, &b| {
-                        self.spare_deficit[a]
-                            .partial_cmp(&self.spare_deficit[b])
-                            .expect("deficits are finite")
-                    });
+                    .max_by(|&a, &b| self.spare_deficit[a].total_cmp(&self.spare_deficit[b]));
                 let Some(i) = winner else { break };
                 let sub = SubscriberId(i as u32);
                 let predicted = self.estimators[i].predict();
                 let Some(rpn) = self.nodes.pick_least_loaded(predicted) else {
                     return; // cluster full: spare exhausted, deficits persist
                 };
-                let request = self.queues.dequeue(sub).expect("checked non-empty");
+                let Some(request) = self.queues.dequeue(sub) else {
+                    break; // checked non-empty above, but never panic here
+                };
                 self.accounts[i].book_dispatch(rpn, predicted);
                 self.nodes.commit_dispatch(rpn, predicted);
                 self.spare_deficit[i] -= 1.0;
@@ -352,7 +354,8 @@ impl<R> RequestScheduler<R> {
         // Re-anchor the node's outstanding estimate to the level the node
         // itself reported (plus nothing for in-flight dispatches — the
         // propagation delay is far below a scheduling cycle).
-        self.nodes.set_outstanding(report.rpn, report.outstanding_predicted);
+        self.nodes
+            .set_outstanding(report.rpn, report.outstanding_predicted);
     }
 }
 
@@ -369,14 +372,16 @@ mod tests {
     fn registry(reservations: &[f64]) -> SubscriberRegistry {
         let mut reg = SubscriberRegistry::new();
         for (i, &r) in reservations.iter().enumerate() {
-            reg.register(format!("site{i}.example.com"), Grps(r)).unwrap();
+            reg.register(format!("site{i}.example.com"), Grps(r))
+                .unwrap();
         }
         reg
     }
 
     fn scheduler(reservations: &[f64], rpns: usize) -> RequestScheduler<u64> {
         let reg = registry(reservations);
-        let mut s = RequestScheduler::new(&reg, SchedulerConfig::default(), NodeScheduler::new(0.1));
+        let mut s =
+            RequestScheduler::new(&reg, SchedulerConfig::default(), NodeScheduler::new(0.1));
         for _ in 0..rpns {
             s.nodes_mut().add_rpn(capacity());
         }

@@ -1,15 +1,12 @@
 //! Service subscribers (virtual web sites) and their registry.
 
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::resource::Grps;
 
 /// Identifier of a service subscriber (one hosted virtual web site).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SubscriberId(pub u32);
 
 impl fmt::Display for SubscriberId {
@@ -20,7 +17,7 @@ impl fmt::Display for SubscriberId {
 
 /// A subscriber's static contract: its host name (classification key) and
 /// reserved service rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subscriber {
     /// Stable identifier.
     pub id: SubscriberId,
@@ -46,7 +43,7 @@ pub struct Subscriber {
 #[derive(Debug, Clone, Default)]
 pub struct SubscriberRegistry {
     subscribers: Vec<Subscriber>,
-    by_host: HashMap<String, SubscriberId>,
+    by_host: BTreeMap<String, SubscriberId>,
 }
 
 /// Error returned when registering a duplicate host name.

@@ -1,7 +1,7 @@
 //! Cancellable timestamped event queue.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::SimTime;
 
@@ -67,7 +67,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     /// Sequence numbers of events that are scheduled and not yet fired or
     /// cancelled. Heap entries whose seq is absent here are tombstones.
-    pending: HashSet<u64>,
+    pending: BTreeSet<u64>,
     next_seq: u64,
 }
 
@@ -82,7 +82,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: BTreeSet::new(),
             next_seq: 0,
         }
     }

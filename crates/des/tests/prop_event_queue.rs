@@ -1,13 +1,18 @@
-//! Property-based tests of the event queue and time arithmetic.
+//! Randomized tests of the event queue and time arithmetic, driven by a
+//! seeded RNG so every run checks the same cases.
 
 use gage_des::{EventQueue, SimDuration, SimTime};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Popping always yields events in non-decreasing time order, with
-    /// FIFO tie-breaking, regardless of insertion order.
-    #[test]
-    fn pops_sorted_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Popping always yields events in non-decreasing time order, with
+/// FIFO tie-breaking, regardless of insertion order.
+#[test]
+fn pops_sorted_stable() {
+    let mut rng = StdRng::seed_from_u64(0x51);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..200);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), (t, i));
@@ -15,62 +20,73 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some(ev) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(ev.at >= lt, "time went backwards");
+                assert!(ev.at >= lt, "time went backwards");
                 if ev.at == lt {
-                    prop_assert!(ev.event.1 > li, "FIFO violated on ties");
+                    assert!(ev.event.1 > li, "FIFO violated on ties");
                 }
             }
-            prop_assert_eq!(SimTime::from_millis(ev.event.0), ev.at);
+            assert_eq!(SimTime::from_millis(ev.event.0), ev.at);
             last = Some((ev.at, ev.event.1));
         }
-        prop_assert!(q.is_empty());
+        assert!(q.is_empty());
     }
+}
 
-    /// Cancelled events never come out; everything else always does.
-    #[test]
-    fn cancellation_is_exact(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelled events never come out; everything else always does.
+#[test]
+fn cancellation_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0x52);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..100);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
             .enumerate()
             .map(|(i, &t)| (i, q.schedule(SimTime::from_millis(t), i)))
             .collect();
-        let mut expect: std::collections::HashSet<usize> =
-            (0..times.len()).collect();
+        let mut expect: std::collections::HashSet<usize> = (0..times.len()).collect();
         for (i, id) in &ids {
             if cancel_mask.get(*i).copied().unwrap_or(false) {
-                prop_assert!(q.cancel(*id));
+                assert!(q.cancel(*id));
                 expect.remove(i);
             }
         }
-        prop_assert_eq!(q.len(), expect.len());
+        assert_eq!(q.len(), expect.len());
         let mut seen = std::collections::HashSet::new();
         while let Some(ev) = q.pop() {
-            prop_assert!(seen.insert(ev.event), "duplicate delivery");
+            assert!(seen.insert(ev.event), "duplicate delivery");
         }
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect);
     }
+}
 
-    /// Time arithmetic: (t + d) - t == d and ordering is consistent.
-    #[test]
-    fn time_arithmetic(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic: (t + d) - t == d and ordering is consistent.
+#[test]
+fn time_arithmetic() {
+    let mut rng = StdRng::seed_from_u64(0x53);
+    for _ in 0..256 {
+        let base: u64 = rng.gen_range(0..u64::MAX / 4);
+        let d: u64 = rng.gen_range(0..u64::MAX / 4);
         let t = SimTime::from_nanos(base);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t + dur) - t, dur);
-        prop_assert!((t + dur) >= t);
-        prop_assert_eq!((t + dur) - dur, t);
-        prop_assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
+        assert_eq!((t + dur) - t, dur);
+        assert!((t + dur) >= t);
+        assert_eq!((t + dur) - dur, t);
+        assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
     }
+}
 
-    /// Duration scaling round-trips through f64 within tolerance.
-    #[test]
-    fn duration_f64_roundtrip(ms in 0u64..10_000_000) {
+/// Duration scaling round-trips through f64 within tolerance.
+#[test]
+fn duration_f64_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x54);
+    for _ in 0..256 {
+        let ms: u64 = rng.gen_range(0..10_000_000);
         let d = SimDuration::from_millis(ms);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
         let err = back.as_nanos().abs_diff(d.as_nanos());
-        prop_assert!(err <= 1 + d.as_nanos() / 1_000_000_000, "err {err}");
+        assert!(err <= 1 + d.as_nanos() / 1_000_000_000, "err {err}");
     }
 }

@@ -1,0 +1,41 @@
+//! Fixture: a gage-core stand-in. Missing crate attrs; one violation or
+//! suppression per line below, at line numbers the self-tests assert.
+use std::collections::HashMap;
+use std::collections::HashSet; // lint:allow(determinism-hash-order)
+
+pub fn clocks() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now(); // lint:allow(determinism-clock)
+}
+
+pub fn entropy() {
+    let _r = rand::thread_rng();
+    let _x: u8 = rand::random(); // lint:allow(determinism-rng)
+}
+
+pub fn money(credit: f64, balance: f64) -> bool {
+    let exact = credit == 0.0;
+    let fine = (credit - balance).abs() < 1e-9;
+    let allowed = balance != 1.5; // lint:allow(float-eq)
+    exact && fine && allowed
+}
+
+pub fn chatty() {
+    println!("progress");
+    eprintln!("warn"); // lint:allow(no-print)
+}
+
+// Strings and comments must not trip rules: HashMap, Instant, println!.
+pub const DOC: &str = "uses HashMap and Instant and println! freely";
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // test code is exempt
+
+    #[test]
+    fn t() {
+        let mut m = HashMap::new();
+        m.insert(1, std::time::Instant::now());
+        println!("{}", m.len());
+    }
+}

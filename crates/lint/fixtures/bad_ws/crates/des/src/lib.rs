@@ -1,0 +1,5 @@
+//! Fixture des lib root: attrs present, one determinism violation.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;

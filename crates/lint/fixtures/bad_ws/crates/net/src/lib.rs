@@ -1,0 +1,2 @@
+//! Fixture net lib root. // lint:allow-file(crate-attrs)
+pub mod splice;

@@ -1,0 +1,3 @@
+fn main() {
+    println!("binary code may print");
+}

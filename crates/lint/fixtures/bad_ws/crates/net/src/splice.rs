@@ -1,0 +1,7 @@
+//! Fixture: net hot path.
+
+pub fn peek(frame: &[u8]) -> u8 {
+    let b = frame[13];
+    dbg!(b);
+    b
+}

@@ -1,0 +1,59 @@
+//! CLI for the Gage workspace invariant checker.
+//!
+//! ```text
+//! gage-lint [--json] [ROOT]
+//! ```
+//!
+//! Lints the workspace rooted at `ROOT` (default: the current directory,
+//! which is the workspace root under `cargo run -p gage-lint`). Prints one
+//! line per finding — or a JSON report with `--json` — and exits non-zero
+//! if any rule fired.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: gage-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => {
+                eprintln!("unexpected argument `{other}`; usage: gage-lint [--json] [ROOT]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match gage_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gage-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", gage_lint::report_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "gage-lint: {} finding(s) in {}",
+            findings.len(),
+            root.display()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixture-based self-tests: every rule must trip on the known-bad corpus
+//! under `fixtures/bad_ws/`, and every `lint:allow` in it must suppress.
+
+use std::path::Path;
+
+use gage_lint::{lint_workspace, report_json, Finding};
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad_ws");
+    lint_workspace(&root).expect("fixture tree is readable")
+}
+
+fn has(findings: &[Finding], rule: &str, file: &str, line: usize) -> bool {
+    findings
+        .iter()
+        .any(|f| f.rule == rule && f.file == file && f.line == line)
+}
+
+fn any_at(findings: &[Finding], file: &str, line: usize) -> bool {
+    findings.iter().any(|f| f.file == file && f.line == line)
+}
+
+const CORE_LIB: &str = "crates/core/src/lib.rs";
+const CORE_SCHED: &str = "crates/core/src/scheduler.rs";
+
+#[test]
+fn every_rule_trips_on_the_fixture_corpus() {
+    let f = fixture_findings();
+
+    // determinism: wall clock, unseeded rng, hash iteration order.
+    assert!(has(&f, "determinism-clock", CORE_LIB, 7));
+    assert!(has(&f, "determinism-rng", CORE_LIB, 12));
+    assert!(has(&f, "determinism-hash-order", CORE_LIB, 3));
+    assert!(has(
+        &f,
+        "determinism-hash-order",
+        "crates/des/src/lib.rs",
+        5
+    ));
+
+    // hot path: panicking combinators and literal indexing.
+    assert!(has(&f, "hot-path-panic", CORE_SCHED, 4), "unwrap");
+    assert!(has(&f, "hot-path-panic", CORE_SCHED, 5), "expect");
+    assert!(has(&f, "hot-path-panic", CORE_SCHED, 13), "panic!");
+    assert!(has(&f, "hot-path-panic", CORE_SCHED, 14), "todo!");
+    assert!(has(&f, "hot-path-index", CORE_SCHED, 6));
+    assert!(has(&f, "hot-path-index", "crates/net/src/splice.rs", 4));
+
+    // hygiene: prints, crate attrs, float equality, dependency versions.
+    assert!(has(&f, "no-print", CORE_LIB, 24), "println!");
+    assert!(has(&f, "no-print", "crates/net/src/splice.rs", 5), "dbg!");
+    assert!(has(&f, "crate-attrs", CORE_LIB, 1));
+    assert_eq!(
+        f.iter()
+            .filter(|x| x.rule == "crate-attrs" && x.file == CORE_LIB)
+            .count(),
+        2,
+        "both forbid(unsafe_code) and warn(missing_docs) reported"
+    );
+    assert!(has(&f, "float-eq", CORE_LIB, 17));
+    assert!(has(&f, "dep-version", "Cargo.toml", 9), "wildcard");
+    assert!(has(&f, "dep-version", "crates/core/Cargo.toml", 6));
+    assert!(
+        has(&f, "dep-version", "crates/core/Cargo.toml", 7),
+        "inline"
+    );
+    assert_eq!(
+        f.iter()
+            .filter(|x| x.rule == "dep-version" && x.file == "crates/des/Cargo.toml")
+            .count(),
+        2,
+        "local pin + cross-manifest duplicate both reported"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_each_rule() {
+    let f = fixture_findings();
+    // Each of these fixture lines repeats a violation with a trailing
+    // `// lint:allow(<rule>)` and must produce nothing.
+    for (file, line) in [
+        (CORE_LIB, 4),    // determinism-hash-order
+        (CORE_LIB, 8),    // determinism-clock
+        (CORE_LIB, 13),   // determinism-rng
+        (CORE_LIB, 19),   // float-eq
+        (CORE_LIB, 25),   // no-print
+        (CORE_SCHED, 7),  // hot-path-index
+        (CORE_SCHED, 18), // hot-path-panic
+    ] {
+        assert!(!any_at(&f, file, line), "{file}:{line} should be allowed");
+    }
+    // File-level allow for crate-attrs, and binaries may print.
+    assert!(!any_at(&f, "crates/net/src/lib.rs", 1));
+    assert!(!any_at(&f, "crates/net/src/main.rs", 2));
+}
+
+#[test]
+fn exemptions_do_not_leak_findings() {
+    let f = fixture_findings();
+    // cfg(test) block (lines 31-41), strings and comments (28-29), the
+    // tolerance-based comparison (18), and unwrap_or (8) are all clean.
+    for line in [8, 18, 28, 29, 33, 37, 38, 39] {
+        assert!(
+            !any_at(&f, CORE_LIB, line) && !any_at(&f, CORE_SCHED, line),
+            "line {line} should be exempt"
+        );
+    }
+    // The fixture corpus is fully enumerated: any extra finding is a
+    // false positive in the engine.
+    assert_eq!(f.len(), 20, "exact fixture finding count: {f:#?}");
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let f = fixture_findings();
+    let json = report_json(&f);
+    assert!(json.starts_with("{\"count\":20,\"findings\":["));
+    assert!(json.contains("\"rule\":\"hot-path-panic\""));
+    assert!(json.contains("\"file\":\"crates/core/src/lib.rs\""));
+    let quotes = json.matches('"').count();
+    assert!(quotes.is_multiple_of(2), "balanced quotes after escaping");
+}

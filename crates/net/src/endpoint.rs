@@ -585,7 +585,9 @@ mod tests {
             "no duplicate delivery"
         );
         assert!(
-            sout2.iter().any(|o| matches!(o, Output::Send(p) if p.is_ack())),
+            sout2
+                .iter()
+                .any(|o| matches!(o, Output::Send(p) if p.is_ack())),
             "duplicate re-acked"
         );
     }

@@ -123,7 +123,11 @@ mod tests {
     fn checksum_known_vector() {
         // Example from RFC 1071 discussions: the checksum of a header whose
         // checksum field is correct re-sums to zero.
-        let h = Ipv4Header::tcp(Ipv4Addr::new(192, 168, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 20);
+        let h = Ipv4Header::tcp(
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            20,
+        );
         let mut buf = Vec::new();
         h.write(&mut buf);
         assert_eq!(internet_checksum(&buf), 0, "self-verifying checksum");
@@ -162,9 +166,6 @@ mod tests {
     #[test]
     fn odd_length_checksum() {
         // Odd-length data pads with a zero byte.
-        assert_eq!(
-            internet_checksum(&[0x01]),
-            internet_checksum(&[0x01, 0x00])
-        );
+        assert_eq!(internet_checksum(&[0x01]), internet_checksum(&[0x01, 0x00]));
     }
 }

@@ -88,7 +88,14 @@ impl Packet {
 
     /// The listener's SYN-ACK reply.
     pub fn syn_ack(src: Endpoint, dst: Endpoint, isn: SeqNum, ack: SeqNum) -> Self {
-        Packet::new(src, dst, isn, ack, TcpFlags::SYN | TcpFlags::ACK, Bytes::new())
+        Packet::new(
+            src,
+            dst,
+            isn,
+            ack,
+            TcpFlags::SYN | TcpFlags::ACK,
+            Bytes::new(),
+        )
     }
 
     /// A bare acknowledgment.
@@ -103,7 +110,14 @@ impl Packet {
 
     /// A connection-closing FIN|ACK.
     pub fn fin(src: Endpoint, dst: Endpoint, seq: SeqNum, ack: SeqNum) -> Self {
-        Packet::new(src, dst, seq, ack, TcpFlags::FIN | TcpFlags::ACK, Bytes::new())
+        Packet::new(
+            src,
+            dst,
+            seq,
+            ack,
+            TcpFlags::FIN | TcpFlags::ACK,
+            Bytes::new(),
+        )
     }
 
     /// Source endpoint (IP and port).

@@ -166,7 +166,11 @@ mod tests {
         assert_eq!(pkt.src(), cluster, "client sees the cluster address");
         // 81 - 80 = 1 byte into the stream; client expects 5_000 + 1.
         assert_eq!(pkt.tcp.seq, SeqNum::new(5_001));
-        assert_eq!(pkt.tcp.ack, SeqNum::new(123), "ack of client bytes untouched");
+        assert_eq!(
+            pkt.tcp.ack,
+            SeqNum::new(123),
+            "ack of client bytes untouched"
+        );
     }
 
     #[test]
@@ -225,7 +229,7 @@ mod tests {
             client,
             cluster,
             Ipv4Addr::new(3, 3, 3, 3),
-            SeqNum::new(10),           // RDN ISN just past zero
+            SeqNum::new(10),            // RDN ISN just past zero
             SeqNum::new(u32::MAX - 10), // RPN ISN just before wrap
         );
         let s = SeqNum::new(u32::MAX - 5);

@@ -2,14 +2,15 @@
 //!
 //! Serves the evaluation's synthetic content with a *calibrated* cost
 //! model: each request holds the node's single CPU for its CPU time and the
-//! single disk channel for its disk time (both simulated by holding a
-//! semaphore through a sleep), then streams a response of the requested
-//! size. Per-subscriber usage is accumulated and reported to the front end
-//! every accounting cycle, echoing the front end's predictions so balances
+//! single disk channel for its disk time (both simulated by holding a lock
+//! through a sleep), then streams a response of the requested size.
+//! Per-subscriber usage is accumulated and reported to the front end every
+//! accounting cycle, echoing the front end's predictions so balances
 //! reconcile exactly.
 
-use std::collections::HashMap;
-use std::net::SocketAddr;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,9 +19,6 @@ use gage_core::node::RpnId;
 use gage_core::resource::ResourceVector;
 use gage_core::subscriber::SubscriberId;
 use parking_lot::Mutex;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::Semaphore;
-use tokio::task::JoinHandle;
 
 use crate::http::{read_request_head, write_error_response, write_ok_response};
 use crate::proto::{send_msg, ControlMsg};
@@ -90,20 +88,20 @@ struct CycleAccum {
 
 #[derive(Debug, Default)]
 struct Accounting {
-    per_sub: HashMap<SubscriberId, CycleAccum>,
+    per_sub: BTreeMap<SubscriberId, CycleAccum>,
     total: ResourceVector,
     served: u64,
     /// Predicted-units work admitted but not yet completed on this node.
     outstanding_predicted: ResourceVector,
 }
 
-/// A running back end; aborts its tasks on drop.
+/// A running back end; stops its worker threads on drop.
 #[derive(Debug)]
 pub struct BackendHandle {
     /// The bound HTTP address.
     pub http_addr: SocketAddr,
     accounting: Arc<Mutex<Accounting>>,
-    tasks: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
 }
 
 impl BackendHandle {
@@ -112,11 +110,12 @@ impl BackendHandle {
         self.accounting.lock().served
     }
 
-    /// Stops the server.
+    /// Stops the server: the accept loop exits after the next connection
+    /// attempt, the reporting loop after its next tick.
     pub fn shutdown(&self) {
-        for t in &self.tasks {
-            t.abort();
-        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.http_addr);
     }
 }
 
@@ -131,9 +130,9 @@ impl Drop for BackendHandle {
 /// # Errors
 ///
 /// Fails if the listen address cannot be bound.
-pub async fn spawn_backend(cfg: BackendConfig) -> std::io::Result<BackendHandle> {
-    let listener = TcpListener::bind(cfg.listen).await?;
-    spawn_backend_on(listener, cfg).await
+pub fn spawn_backend(cfg: BackendConfig) -> std::io::Result<BackendHandle> {
+    let listener = TcpListener::bind(cfg.listen)?;
+    spawn_backend_on(listener, cfg)
 }
 
 /// Starts a back end on an already-bound listener (lets callers learn the
@@ -142,85 +141,85 @@ pub async fn spawn_backend(cfg: BackendConfig) -> std::io::Result<BackendHandle>
 /// # Errors
 ///
 /// Fails if the listener's local address cannot be read.
-pub async fn spawn_backend_on(
+pub fn spawn_backend_on(
     listener: TcpListener,
     cfg: BackendConfig,
 ) -> std::io::Result<BackendHandle> {
     let http_addr = listener.local_addr()?;
     let accounting = Arc::new(Mutex::new(Accounting::default()));
-    // One CPU, one disk channel.
-    let cpu = Arc::new(Semaphore::new(1));
-    let disk = Arc::new(Semaphore::new(1));
-
-    let mut tasks = Vec::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    // One CPU, one disk channel: requests hold these locks through their
+    // calibrated burn so the node really saturates like single hardware.
+    let cpu = Arc::new(Mutex::new(()));
+    let disk = Arc::new(Mutex::new(()));
 
     // Accept loop.
     {
         let accounting = Arc::clone(&accounting);
+        let stop = Arc::clone(&stop);
         let cfg = cfg.clone();
-        tasks.push(tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else {
-                    break;
-                };
-                let accounting = Arc::clone(&accounting);
-                let cpu = Arc::clone(&cpu);
-                let disk = Arc::clone(&disk);
-                let cost = cfg.cost;
-                let default_size = cfg.default_size;
-                tokio::spawn(async move {
-                    let _ =
-                        serve_one(stream, cost, default_size, &cpu, &disk, &accounting).await;
-                });
+        std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                break;
+            };
+            if stop.load(Ordering::SeqCst) {
+                break;
             }
-        }));
+            let accounting = Arc::clone(&accounting);
+            let cpu = Arc::clone(&cpu);
+            let disk = Arc::clone(&disk);
+            let cost = cfg.cost;
+            let default_size = cfg.default_size;
+            std::thread::spawn(move || {
+                let _ = serve_one(stream, cost, default_size, &cpu, &disk, &accounting);
+            });
+        });
     }
 
     // Reporting loop.
     if let Some(report_to) = cfg.report_to {
         let accounting = Arc::clone(&accounting);
+        let stop = Arc::clone(&stop);
         let cycle = cfg.accounting_cycle;
-        tasks.push(tokio::spawn(async move {
+        std::thread::spawn(move || {
             // Reconnect loop: the front end may start after us.
-            loop {
-                let Ok(mut control) = TcpStream::connect(report_to).await else {
-                    tokio::time::sleep(Duration::from_millis(200)).await;
+            while !stop.load(Ordering::SeqCst) {
+                let Ok(mut control) = TcpStream::connect(report_to) else {
+                    std::thread::sleep(Duration::from_millis(200));
                     continue;
                 };
                 let register = ControlMsg::Register {
                     http_addr: http_addr.to_string(),
                 };
-                if send_msg(&mut control, &register).await.is_err() {
+                if send_msg(&mut control, &register).is_err() {
                     continue;
                 }
-                let mut ticker = tokio::time::interval(cycle);
-                ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
                 loop {
-                    ticker.tick().await;
+                    std::thread::sleep(cycle);
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
                     let report = drain_report(&accounting);
-                    if send_msg(&mut control, &ControlMsg::Report { report })
-                        .await
-                        .is_err()
-                    {
+                    if send_msg(&mut control, &ControlMsg::Report { report }).is_err() {
                         break; // reconnect
                     }
                 }
             }
-        }));
+        });
     }
 
     Ok(BackendHandle {
         http_addr,
         accounting,
-        tasks,
+        stop,
     })
 }
 
 fn drain_report(accounting: &Mutex<Accounting>) -> UsageReport {
     let mut acc = accounting.lock();
-    let per_subscriber = acc
-        .per_sub
-        .drain()
+    let per_sub = std::mem::take(&mut acc.per_sub);
+    let per_subscriber = per_sub
+        .into_iter()
         .map(|(subscriber, c)| SubscriberUsage {
             subscriber,
             actual: c.actual,
@@ -238,16 +237,16 @@ fn drain_report(accounting: &Mutex<Accounting>) -> UsageReport {
     }
 }
 
-async fn serve_one(
+fn serve_one(
     mut stream: TcpStream,
     cost: BackendCost,
     default_size: u64,
-    cpu: &Semaphore,
-    disk: &Semaphore,
+    cpu: &Mutex<()>,
+    disk: &Mutex<()>,
     accounting: &Mutex<Accounting>,
 ) -> std::io::Result<()> {
-    let Ok((head, _rest)) = read_request_head(&mut stream).await else {
-        let _ = write_error_response(&mut stream, "400 Bad Request").await;
+    let Ok((head, _rest)) = read_request_head(&mut stream) else {
+        let _ = write_error_response(&mut stream, "400 Bad Request");
         return Ok(());
     };
     let size = head.size_hint().unwrap_or(default_size);
@@ -267,21 +266,20 @@ async fn serve_one(
     // CPU phase: hold the node's CPU for the calibrated burn.
     let cpu_us = cost.cpu_us(size);
     {
-        let _permit = cpu.acquire().await.expect("semaphore never closed");
-        tokio::time::sleep(Duration::from_micros(cpu_us)).await;
+        let _held = cpu.lock();
+        std::thread::sleep(Duration::from_micros(cpu_us));
     }
     // Disk phase.
     if cost.disk_us > 0 {
-        let _permit = disk.acquire().await.expect("semaphore never closed");
-        tokio::time::sleep(Duration::from_micros(cost.disk_us)).await;
+        let _held = disk.lock();
+        std::thread::sleep(Duration::from_micros(cost.disk_us));
     }
     // Network phase: stream the response.
-    write_ok_response(&mut stream, size as usize).await?;
+    write_ok_response(&mut stream, size as usize)?;
 
     let actual = ResourceVector::new(cpu_us as f64, cost.disk_us as f64, size as f64);
     let mut acc = accounting.lock();
-    acc.outstanding_predicted =
-        (acc.outstanding_predicted - predicted).clamped_nonnegative();
+    acc.outstanding_predicted = (acc.outstanding_predicted - predicted).clamped_nonnegative();
     acc.total += actual;
     acc.served += 1;
     if let Some(sub) = sub {
@@ -311,10 +309,10 @@ pub fn format_pred(v: ResourceVector) -> String {
 mod tests {
     use super::*;
     use crate::http::{read_response, RequestHead};
-    use tokio::io::AsyncWriteExt;
+    use std::io::Write;
 
-    #[tokio::test]
-    async fn serves_requested_size() {
+    #[test]
+    fn serves_requested_size() {
         let backend = spawn_backend(BackendConfig {
             cost: BackendCost {
                 base_cpu_us: 100,
@@ -323,19 +321,18 @@ mod tests {
             },
             ..Default::default()
         })
-        .await
-        .unwrap();
-        let mut stream = TcpStream::connect(backend.http_addr).await.unwrap();
+        .expect("backend starts");
+        let mut stream = TcpStream::connect(backend.http_addr).expect("connect");
         let head = RequestHead::get("/x", "any.local", Some(12_345));
-        stream.write_all(&head.to_bytes()).await.unwrap();
-        let (code, body) = read_response(&mut stream).await.unwrap();
+        stream.write_all(&head.to_bytes()).expect("write");
+        let (code, body) = read_response(&mut stream).expect("response");
         assert_eq!(code, 200);
         assert_eq!(body, 12_345);
         assert_eq!(backend.served(), 1);
     }
 
-    #[tokio::test]
-    async fn accumulates_per_subscriber_usage() {
+    #[test]
+    fn accumulates_per_subscriber_usage() {
         let backend = spawn_backend(BackendConfig {
             cost: BackendCost {
                 base_cpu_us: 50,
@@ -344,9 +341,8 @@ mod tests {
             },
             ..Default::default()
         })
-        .await
-        .unwrap();
-        let mut stream = TcpStream::connect(backend.http_addr).await.unwrap();
+        .expect("backend starts");
+        let mut stream = TcpStream::connect(backend.http_addr).expect("connect");
         let mut head = RequestHead::get("/x", "any.local", Some(1_000));
         head.headers
             .insert("x-gage-sub".to_string(), "2".to_string());
@@ -354,8 +350,8 @@ mod tests {
             "x-gage-pred".to_string(),
             format_pred(ResourceVector::new(60.0, 10.0, 1_000.0)),
         );
-        stream.write_all(&head.to_bytes()).await.unwrap();
-        let (code, _) = read_response(&mut stream).await.unwrap();
+        stream.write_all(&head.to_bytes()).expect("write");
+        let (code, _) = read_response(&mut stream).expect("response");
         assert_eq!(code, 200);
 
         let report = drain_report(&backend.accounting);
@@ -374,7 +370,7 @@ mod tests {
     #[test]
     fn pred_header_round_trip() {
         let v = ResourceVector::new(1_820.5, 0.0, 6_144.0);
-        let parsed = parse_pred(&format_pred(v)).unwrap();
+        let parsed = parse_pred(&format_pred(v)).expect("parses");
         assert!((parsed.cpu_us - 1_820.5).abs() < 0.1);
         assert_eq!(parsed.net_bytes, 6_144.0);
         assert!(parse_pred("junk").is_none());

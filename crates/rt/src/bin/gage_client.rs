@@ -12,14 +12,11 @@ use std::time::Duration;
 use gage_rt::client::{run_load, ClientConfig};
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: gage-client --target ADDR --host HOST --rate N --secs N [--size BYTES]"
-    );
+    eprintln!("usage: gage-client --target ADDR --host HOST --rate N --secs N [--size BYTES]");
     ExitCode::from(2)
 }
 
-#[tokio::main(flavor = "multi_thread")]
-async fn main() -> ExitCode {
+fn main() -> ExitCode {
     let mut target: Option<SocketAddr> = None;
     let mut host: Option<String> = None;
     let mut rate: f64 = 10.0;
@@ -60,7 +57,7 @@ async fn main() -> ExitCode {
         ..ClientConfig::new(target, host.clone(), rate)
     };
     println!("gage-client: {rate} req/s against {host} via {target} for {secs}s");
-    let stats = run_load(cfg).await;
+    let stats = run_load(cfg);
     println!(
         "attempted {}  ok {}  dropped {}  errors {}",
         stats.attempted, stats.ok, stats.dropped, stats.errors

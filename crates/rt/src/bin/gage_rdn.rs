@@ -21,8 +21,7 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-#[tokio::main(flavor = "multi_thread")]
-async fn main() -> ExitCode {
+fn main() -> ExitCode {
     let mut listen: Option<SocketAddr> = None;
     let mut control: Option<SocketAddr> = None;
     let mut sites: Vec<SiteConfig> = Vec::new();
@@ -70,7 +69,7 @@ async fn main() -> ExitCode {
         backends,
         ..FrontendConfig::loopback(Vec::new(), Vec::new())
     };
-    let handle = match spawn_frontend(cfg).await {
+    let handle = match spawn_frontend(cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("gage-rdn: failed to start: {e}");
@@ -82,26 +81,15 @@ async fn main() -> ExitCode {
         handle.http_addr, handle.control_addr
     );
 
-    // Periodic status line until interrupted.
-    let mut ticker = tokio::time::interval(std::time::Duration::from_secs(5));
-    ticker.tick().await; // immediate first tick
+    // Periodic status line until the process is interrupted.
     loop {
-        tokio::select! {
-            _ = ticker.tick() => {
-                for i in 0..n_sites {
-                    let c = handle.counters(SubscriberId(i as u32));
-                    println!(
-                        "  sub{}: accepted={} dropped={} dispatched={} completed={}",
-                        i, c.accepted, c.dropped, c.dispatched, c.completed
-                    );
-                }
-            }
-            r = tokio::signal::ctrl_c() => {
-                if r.is_ok() {
-                    println!("gage-rdn: shutting down");
-                }
-                return ExitCode::SUCCESS;
-            }
+        for i in 0..n_sites {
+            let c = handle.counters(SubscriberId(i as u32));
+            println!(
+                "  sub{}: accepted={} dropped={} dispatched={} completed={}",
+                i, c.accepted, c.dropped, c.dispatched, c.completed
+            );
         }
+        std::thread::sleep(std::time::Duration::from_secs(5));
     }
 }

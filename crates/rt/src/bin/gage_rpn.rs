@@ -19,8 +19,7 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-#[tokio::main(flavor = "multi_thread")]
-async fn main() -> ExitCode {
+fn main() -> ExitCode {
     let mut listen: Option<SocketAddr> = None;
     let mut report_to: Option<SocketAddr> = None;
     let mut cost = BackendCost::default();
@@ -64,7 +63,7 @@ async fn main() -> ExitCode {
         cost,
         ..Default::default()
     };
-    let handle = match spawn_backend(cfg).await {
+    let handle = match spawn_backend(cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("gage-rpn: failed to start: {e}");
@@ -73,19 +72,9 @@ async fn main() -> ExitCode {
     };
     println!("gage-rpn: serving on {}", handle.http_addr);
 
-    let mut ticker = tokio::time::interval(Duration::from_secs(5));
-    ticker.tick().await;
+    // Periodic status line until the process is interrupted.
     loop {
-        tokio::select! {
-            _ = ticker.tick() => {
-                println!("  served={} total requests", handle.served());
-            }
-            r = tokio::signal::ctrl_c() => {
-                if r.is_ok() {
-                    println!("gage-rpn: shutting down");
-                }
-                return ExitCode::SUCCESS;
-            }
-        }
+        println!("  served={} total requests", handle.served());
+        std::thread::sleep(Duration::from_secs(5));
     }
 }

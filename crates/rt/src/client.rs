@@ -2,13 +2,12 @@
 //! a constant rate regardless of completions, so overload actually
 //! overloads.
 
-use std::net::SocketAddr;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use tokio::io::AsyncWriteExt;
-use tokio::net::TcpStream;
 
 use crate::http::{read_response, RequestHead};
 
@@ -80,39 +79,53 @@ impl LoadStats {
             self.ok as f64 / elapsed.as_secs_f64()
         }
     }
+
+    fn record(&mut self, started: Instant, outcome: std::io::Result<(u16, u64)>) {
+        match outcome {
+            Ok((200, body)) => {
+                let lat = started.elapsed();
+                self.ok += 1;
+                self.bytes += body;
+                self.latency_sum += lat;
+                self.latency_max = self.latency_max.max(lat);
+            }
+            Ok((503, _)) => self.dropped += 1,
+            _ => self.errors += 1,
+        }
+    }
 }
 
 /// Runs an open-loop load generation session and returns the stats.
-pub async fn run_load(cfg: ClientConfig) -> LoadStats {
+///
+/// Each request gets its own thread so a slow server never throttles the
+/// arrival process: request `n` is issued at `start + n / rate` regardless
+/// of how many earlier requests are still in flight.
+pub fn run_load(cfg: ClientConfig) -> LoadStats {
     let stats = Arc::new(Mutex::new(LoadStats::default()));
-    let mut tick = tokio::time::interval(Duration::from_secs_f64(1.0 / cfg.rate.max(0.001)));
-    tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Burst);
-    let deadline = Instant::now() + cfg.duration;
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate.max(0.001));
+    let start = Instant::now();
     let mut workers = Vec::new();
-    while Instant::now() < deadline {
-        tick.tick().await;
+    let mut n: u32 = 0;
+    loop {
+        let target_at = start + interval * n;
+        if target_at >= start + cfg.duration {
+            break;
+        }
+        if let Some(wait) = target_at.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        n += 1;
+        stats.lock().attempted += 1;
         let stats = Arc::clone(&stats);
         let cfg = cfg.clone();
-        stats.lock().attempted += 1;
-        workers.push(tokio::spawn(async move {
+        workers.push(std::thread::spawn(move || {
             let started = Instant::now();
-            let outcome = tokio::time::timeout(cfg.timeout, one_request(&cfg)).await;
-            let mut s = stats.lock();
-            match outcome {
-                Ok(Ok((200, body))) => {
-                    let lat = started.elapsed();
-                    s.ok += 1;
-                    s.bytes += body;
-                    s.latency_sum += lat;
-                    s.latency_max = s.latency_max.max(lat);
-                }
-                Ok(Ok((503, _))) => s.dropped += 1,
-                _ => s.errors += 1,
-            }
+            let outcome = one_request(&cfg);
+            stats.lock().record(started, outcome);
         }));
     }
     for w in workers {
-        let _ = w.await;
+        let _ = w.join();
     }
     let final_stats = stats.lock().clone();
     final_stats
@@ -121,7 +134,7 @@ pub async fn run_load(cfg: ClientConfig) -> LoadStats {
 /// Replays a [`gage_workload::Trace`] open-loop against `target`: each
 /// entry is issued at its recorded offset (relative to the replay start)
 /// with its own host, path and size. Returns aggregate stats.
-pub async fn replay_trace(
+pub fn replay_trace(
     target: SocketAddr,
     trace: &gage_workload::Trace,
     timeout: Duration,
@@ -132,55 +145,46 @@ pub async fn replay_trace(
     for e in &trace.entries {
         let at = Duration::from_micros(e.at_us);
         if let Some(wait) = at.checked_sub(start.elapsed()) {
-            tokio::time::sleep(wait).await;
+            std::thread::sleep(wait);
         }
         stats.lock().attempted += 1;
         let stats = Arc::clone(&stats);
         let host = e.host.clone();
         let path = e.path.clone();
         let size = e.size_bytes;
-        workers.push(tokio::spawn(async move {
+        workers.push(std::thread::spawn(move || {
             let started = Instant::now();
-            let outcome = tokio::time::timeout(timeout, async {
-                let mut stream = TcpStream::connect(target).await?;
-                let mut head = RequestHead::get(&path, &host, Some(size));
-                head.headers
-                    .insert("x-size".to_string(), size.to_string());
-                stream.write_all(&head.to_bytes()).await?;
-                read_response(&mut stream).await.map_err(|e| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                })
-            })
-            .await;
-            let mut s = stats.lock();
-            match outcome {
-                Ok(Ok((200, body))) => {
-                    let lat = started.elapsed();
-                    s.ok += 1;
-                    s.bytes += body;
-                    s.latency_sum += lat;
-                    s.latency_max = s.latency_max.max(lat);
-                }
-                Ok(Ok((503, _))) => s.dropped += 1,
-                _ => s.errors += 1,
-            }
+            let outcome = timed_request(target, &path, &host, size, timeout);
+            stats.lock().record(started, outcome);
         }));
     }
     for w in workers {
-        let _ = w.await;
+        let _ = w.join();
     }
     let out = stats.lock().clone();
     out
 }
 
-async fn one_request(cfg: &ClientConfig) -> std::io::Result<(u16, u64)> {
-    let mut stream = TcpStream::connect(cfg.target).await?;
-    let head = RequestHead::get("/load", &cfg.host, Some(cfg.size));
-    stream.write_all(&head.to_bytes()).await?;
-    // Half-close our side so HTTP/1.0 close-delimited reads terminate.
+/// One GET with connect/read/write deadlines approximating a whole-request
+/// timeout.
+fn timed_request(
+    target: SocketAddr,
+    path: &str,
+    host: &str,
+    size: u64,
+    timeout: Duration,
+) -> std::io::Result<(u16, u64)> {
+    let mut stream = TcpStream::connect_timeout(&target, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = RequestHead::get(path, host, Some(size));
+    stream.write_all(&head.to_bytes())?;
     read_response(&mut stream)
-        .await
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn one_request(cfg: &ClientConfig) -> std::io::Result<(u16, u64)> {
+    timed_request(cfg.target, "/load", &cfg.host, cfg.size, cfg.timeout)
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! reports arrive over a control listener and reconcile the scheduler's
 //! balances.
 
-use std::net::SocketAddr;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,9 +20,6 @@ use gage_core::resource::{Grps, ResourceVector};
 use gage_core::scheduler::{RequestScheduler, SubscriberCounters};
 use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
 use parking_lot::Mutex;
-use tokio::io::BufReader;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::task::JoinHandle;
 
 use crate::backend::format_pred;
 use crate::http::{read_request_head, write_error_response, RequestHead};
@@ -77,7 +76,7 @@ struct QueuedConn {
 
 type SharedScheduler = Arc<Mutex<RequestScheduler<QueuedConn>>>;
 
-/// A running front end; aborts its tasks on drop.
+/// A running front end; stops its worker threads on drop.
 #[derive(Debug)]
 pub struct FrontendHandle {
     /// The bound client-facing address.
@@ -85,7 +84,7 @@ pub struct FrontendHandle {
     /// The bound control address (give this to back ends).
     pub control_addr: SocketAddr,
     scheduler: SharedScheduler,
-    tasks: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
 }
 
 impl FrontendHandle {
@@ -94,11 +93,13 @@ impl FrontendHandle {
         self.scheduler.lock().counters(sub)
     }
 
-    /// Stops the server.
+    /// Stops the server: both accept loops exit after the next connection
+    /// attempt, the scheduling loop after its next tick.
     pub fn shutdown(&self) {
-        for t in &self.tasks {
-            t.abort();
-        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loops with dummy connections.
+        let _ = TcpStream::connect(self.http_addr);
+        let _ = TcpStream::connect(self.control_addr);
     }
 }
 
@@ -113,9 +114,9 @@ impl Drop for FrontendHandle {
 /// # Errors
 ///
 /// Fails if a listen address cannot be bound or a site host is duplicated.
-pub async fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
-    let listener = TcpListener::bind(cfg.listen).await?;
-    let control_listener = TcpListener::bind(cfg.control).await?;
+pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
+    let listener = TcpListener::bind(cfg.listen)?;
+    let control_listener = TcpListener::bind(cfg.control)?;
     let http_addr = listener.local_addr()?;
     let control_addr = control_listener.local_addr()?;
 
@@ -136,112 +137,114 @@ pub async fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHand
     )));
     let registry = Arc::new(registry);
     let backends = Arc::new(cfg.backends.clone());
-
-    let mut tasks = Vec::new();
+    let stop = Arc::new(AtomicBool::new(false));
 
     // Accept loop: classify and enqueue.
     {
         let scheduler = Arc::clone(&scheduler);
         let registry = Arc::clone(&registry);
-        tasks.push(tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else {
-                    break;
-                };
-                let scheduler = Arc::clone(&scheduler);
-                let registry = Arc::clone(&registry);
-                tokio::spawn(async move {
-                    let _ = classify_and_enqueue(stream, &scheduler, &registry).await;
-                });
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                break;
+            };
+            if stop.load(Ordering::SeqCst) {
+                break;
             }
-        }));
+            let scheduler = Arc::clone(&scheduler);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let _ = classify_and_enqueue(stream, &scheduler, &registry);
+            });
+        });
     }
 
     // Scheduling cycle.
     {
         let scheduler = Arc::clone(&scheduler);
         let backends = Arc::clone(&backends);
+        let stop = Arc::clone(&stop);
         let cycle = Duration::from_secs_f64(cfg.scheduler.scheduling_cycle_secs);
-        tasks.push(tokio::spawn(async move {
-            let mut ticker = tokio::time::interval(cycle);
-            ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
-            loop {
-                ticker.tick().await;
-                let dispatches = scheduler.lock().run_cycle(cycle.as_secs_f64());
-                for d in dispatches {
-                    let Some(&addr) = backends.get(d.rpn.0 as usize) else {
-                        continue;
-                    };
-                    tokio::spawn(dispatch_one(d.request, d.subscriber, d.predicted, addr));
-                }
+        std::thread::spawn(move || loop {
+            std::thread::sleep(cycle);
+            if stop.load(Ordering::SeqCst) {
+                break;
             }
-        }));
+            let dispatches = scheduler.lock().run_cycle(cycle.as_secs_f64());
+            for d in dispatches {
+                let Some(&addr) = backends.get(d.rpn.0 as usize) else {
+                    continue;
+                };
+                std::thread::spawn(move || {
+                    dispatch_one(d.request, d.subscriber, d.predicted, addr);
+                });
+            }
+        });
     }
 
     // Control listener: registrations and reports.
     {
         let scheduler = Arc::clone(&scheduler);
         let backends = Arc::clone(&backends);
-        tasks.push(tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = control_listener.accept().await else {
-                    break;
-                };
-                let scheduler = Arc::clone(&scheduler);
-                let backends = Arc::clone(&backends);
-                tokio::spawn(async move {
-                    let _ = control_conn(stream, &scheduler, &backends).await;
-                });
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            let Ok((stream, _)) = control_listener.accept() else {
+                break;
+            };
+            if stop.load(Ordering::SeqCst) {
+                break;
             }
-        }));
+            let scheduler = Arc::clone(&scheduler);
+            let backends = Arc::clone(&backends);
+            std::thread::spawn(move || {
+                let _ = control_conn(stream, &scheduler, &backends);
+            });
+        });
     }
 
     Ok(FrontendHandle {
         http_addr,
         control_addr,
         scheduler,
-        tasks,
+        stop,
     })
 }
 
-async fn classify_and_enqueue(
+fn classify_and_enqueue(
     mut stream: TcpStream,
     scheduler: &SharedScheduler,
     registry: &SubscriberRegistry,
 ) -> std::io::Result<()> {
-    let Ok((head, _rest)) = read_request_head(&mut stream).await else {
-        let _ = write_error_response(&mut stream, "400 Bad Request").await;
+    let Ok((head, _rest)) = read_request_head(&mut stream) else {
+        let _ = write_error_response(&mut stream, "400 Bad Request");
         return Ok(());
     };
     let Some(host) = head.host() else {
-        let _ = write_error_response(&mut stream, "400 Bad Request").await;
+        let _ = write_error_response(&mut stream, "400 Bad Request");
         return Ok(());
     };
     let Some(sub) = registry.classify_host(&host) else {
-        let _ = write_error_response(&mut stream, "404 Not Found").await;
+        let _ = write_error_response(&mut stream, "404 Not Found");
         return Ok(());
     };
     let size = head.size_hint().unwrap_or(6 * 1024);
     let queued = QueuedConn { stream, head, size };
-    // Hold the lock only for the enqueue itself (the guard is not Send, so
-    // it must be released before any await).
-    let rejected = scheduler.lock().enqueue(sub, queued).err();
-    if let Some(rejected) = rejected {
+    if let Err(rejected) = scheduler.lock().enqueue(sub, queued) {
         // Queue full: this is the paper's "dropped" outcome.
         let mut stream = rejected.stream;
-        let _ = write_error_response(&mut stream, "503 Service Unavailable").await;
+        let _ = write_error_response(&mut stream, "503 Service Unavailable");
     }
     Ok(())
 }
 
-async fn dispatch_one(
+fn dispatch_one(
     mut conn: QueuedConn,
     sub: SubscriberId,
     predicted: ResourceVector,
     backend_addr: SocketAddr,
 ) {
-    let Ok(mut upstream) = TcpStream::connect(backend_addr).await else {
-        let _ = write_error_response(&mut conn.stream, "502 Bad Gateway").await;
+    let Ok(mut upstream) = TcpStream::connect(backend_addr) else {
+        let _ = write_error_response(&mut conn.stream, "502 Bad Gateway");
         return;
     };
     // Forward the head with Gage's bookkeeping headers.
@@ -252,24 +255,22 @@ async fn dispatch_one(
         .insert("x-gage-pred".to_string(), format_pred(predicted));
     head.headers
         .insert("x-size".to_string(), conn.size.to_string());
-    use tokio::io::AsyncWriteExt;
-    if upstream.write_all(&head.to_bytes()).await.is_err() {
-        let _ = write_error_response(&mut conn.stream, "502 Bad Gateway").await;
+    if upstream.write_all(&head.to_bytes()).is_err() {
+        let _ = write_error_response(&mut conn.stream, "502 Bad Gateway");
         return;
     }
     // Application-level splice until both sides close.
-    let _ = splice(&mut conn.stream, &mut upstream).await;
+    let _ = splice(&conn.stream, &upstream);
 }
 
-async fn control_conn(
+fn control_conn(
     stream: TcpStream,
     scheduler: &SharedScheduler,
     backends: &[SocketAddr],
 ) -> std::io::Result<()> {
-    let (rd, _wr) = stream.into_split();
-    let mut reader = BufReader::new(rd);
+    let mut reader = BufReader::new(stream);
     let mut rpn: Option<RpnId> = None;
-    while let Some(msg) = recv_msg(&mut reader).await? {
+    while let Some(msg) = recv_msg(&mut reader)? {
         match msg {
             ControlMsg::Register { http_addr } => {
                 rpn = http_addr

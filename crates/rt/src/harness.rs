@@ -1,10 +1,10 @@
 //! In-process assembly of a whole Gage deployment (front end + back ends)
 //! for tests, examples and quick experiments.
 
+use std::net::TcpListener;
 use std::time::Duration;
 
 use gage_core::resource::Grps;
-use tokio::net::TcpListener;
 
 use crate::backend::{spawn_backend_on, BackendConfig, BackendCost, BackendHandle};
 use crate::frontend::{spawn_frontend, FrontendConfig, FrontendHandle, SiteConfig};
@@ -48,13 +48,13 @@ impl Default for DeployOptions {
 /// # Errors
 ///
 /// Propagates bind/spawn failures.
-pub async fn deploy(opts: DeployOptions) -> std::io::Result<Deployment> {
+pub fn deploy(opts: DeployOptions) -> std::io::Result<Deployment> {
     // Pre-bind the back-end listeners so the front end can be configured
     // with their final addresses before any server starts.
     let mut listeners = Vec::new();
     let mut backend_addrs = Vec::new();
     for _ in 0..opts.backends {
-        let l = TcpListener::bind("127.0.0.1:0").await?;
+        let l = TcpListener::bind("127.0.0.1:0")?;
         backend_addrs.push(l.local_addr()?);
         listeners.push(l);
     }
@@ -67,26 +67,20 @@ pub async fn deploy(opts: DeployOptions) -> std::io::Result<Deployment> {
             reservation: Grps(*grps),
         })
         .collect();
-    let frontend = spawn_frontend(FrontendConfig::loopback(sites, backend_addrs)).await?;
+    let frontend = spawn_frontend(FrontendConfig::loopback(sites, backend_addrs))?;
 
     let mut backends = Vec::new();
     for listener in listeners {
-        backends.push(
-            spawn_backend_on(
-                listener,
-                BackendConfig {
-                    report_to: Some(frontend.control_addr),
-                    cost: opts.cost,
-                    accounting_cycle: opts.accounting_cycle,
-                    ..Default::default()
-                },
-            )
-            .await?,
-        );
+        backends.push(spawn_backend_on(
+            listener,
+            BackendConfig {
+                report_to: Some(frontend.control_addr),
+                cost: opts.cost,
+                accounting_cycle: opts.accounting_cycle,
+                ..Default::default()
+            },
+        )?);
     }
 
-    Ok(Deployment {
-        frontend,
-        backends,
-    })
+    Ok(Deployment { frontend, backends })
 }

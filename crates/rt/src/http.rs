@@ -3,8 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-
-use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+use std::io::{Read, Write};
 
 /// Maximum accepted request-head size.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -91,6 +90,10 @@ impl From<std::io::Error> for HttpError {
 }
 
 /// Parses a request head from a byte buffer ending in `\r\n\r\n`.
+///
+/// # Errors
+///
+/// Fails if the bytes are not a well-formed HTTP/1.x request head.
 pub fn parse_request_head(buf: &[u8]) -> Result<RequestHead, HttpError> {
     let text = std::str::from_utf8(buf).map_err(|_| HttpError::Malformed)?;
     let mut lines = text.split("\r\n");
@@ -123,9 +126,9 @@ pub fn parse_request_head(buf: &[u8]) -> Result<RequestHead, HttpError> {
 /// # Errors
 ///
 /// Fails on transport errors, oversized heads, or malformed requests.
-pub async fn read_request_head<S>(stream: &mut S) -> Result<(RequestHead, Vec<u8>), HttpError>
+pub fn read_request_head<S>(stream: &mut S) -> Result<(RequestHead, Vec<u8>), HttpError>
 where
-    S: AsyncRead + Unpin,
+    S: Read,
 {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
@@ -137,7 +140,7 @@ where
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::Truncated);
         }
-        let n = stream.read(&mut chunk).await?;
+        let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(HttpError::Truncated);
         }
@@ -154,24 +157,24 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// # Errors
 ///
 /// Propagates transport errors.
-pub async fn write_ok_response<S>(stream: &mut S, size: usize) -> Result<(), std::io::Error>
+pub fn write_ok_response<S>(stream: &mut S, size: usize) -> Result<(), std::io::Error>
 where
-    S: AsyncWrite + Unpin,
+    S: Write,
 {
     let head = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: {size}\r\n\r\n"
     );
-    stream.write_all(head.as_bytes()).await?;
+    stream.write_all(head.as_bytes())?;
     // Stream the body in chunks to avoid one huge allocation.
     const CHUNK: usize = 16 * 1024;
     let filler = [b'g'; CHUNK];
     let mut remaining = size;
     while remaining > 0 {
         let n = remaining.min(CHUNK);
-        stream.write_all(&filler[..n]).await?;
+        stream.write_all(&filler[..n])?;
         remaining -= n;
     }
-    stream.flush().await?;
+    stream.flush()?;
     Ok(())
 }
 
@@ -181,16 +184,13 @@ where
 /// # Errors
 ///
 /// Propagates transport errors.
-pub async fn write_error_response<S>(
-    stream: &mut S,
-    status: &str,
-) -> Result<(), std::io::Error>
+pub fn write_error_response<S>(stream: &mut S, status: &str) -> Result<(), std::io::Error>
 where
-    S: AsyncWrite + Unpin,
+    S: Write,
 {
     let head = format!("HTTP/1.0 {status}\r\nContent-Length: 0\r\n\r\n");
-    stream.write_all(head.as_bytes()).await?;
-    stream.flush().await?;
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
     Ok(())
 }
 
@@ -200,15 +200,15 @@ where
 /// # Errors
 ///
 /// Fails on transport errors or a malformed status line.
-pub async fn read_response<S>(stream: &mut S) -> Result<(u16, u64), HttpError>
+pub fn read_response<S>(stream: &mut S) -> Result<(u16, u64), HttpError>
 where
-    S: AsyncRead + Unpin,
+    S: Read,
 {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 4096];
     // Read everything until EOF (HTTP/1.0 close-delimited).
     loop {
-        let n = stream.read(&mut chunk).await?;
+        let n = stream.read(&mut chunk)?;
         if n == 0 {
             break;
         }
@@ -228,13 +228,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected loopback TCP pair for streaming tests.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
 
     #[test]
     fn parse_basic_request() {
-        let head = parse_request_head(
-            b"GET /x HTTP/1.0\r\nHost: Gold.Local:8080\r\nX-Size: 4096\r\n\r\n",
-        )
-        .unwrap();
+        let head =
+            parse_request_head(b"GET /x HTTP/1.0\r\nHost: Gold.Local:8080\r\nX-Size: 4096\r\n\r\n")
+                .expect("parses");
         assert_eq!(head.method, "GET");
         assert_eq!(head.path, "/x");
         assert_eq!(head.host().as_deref(), Some("gold.local"));
@@ -244,7 +253,7 @@ mod tests {
     #[test]
     fn head_round_trip() {
         let h = RequestHead::get("/abc", "site.local", Some(100));
-        let parsed = parse_request_head(&h.to_bytes()).unwrap();
+        let parsed = parse_request_head(&h.to_bytes()).expect("parses");
         assert_eq!(parsed.path, "/abc");
         assert_eq!(parsed.host().as_deref(), Some("site.local"));
         assert_eq!(parsed.size_hint(), Some(100));
@@ -257,79 +266,77 @@ mod tests {
         assert!(parse_request_head(&[0xff, 0xfe]).is_err());
     }
 
-    #[tokio::test]
-    async fn async_head_reader_handles_split_arrival() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        let writer = tokio::spawn(async move {
-            a.write_all(b"GET /y HTTP/1.0\r\nHo").await.unwrap();
-            tokio::task::yield_now().await;
-            a.write_all(b"st: s.local\r\n\r\nBODY").await.unwrap();
+    #[test]
+    fn head_reader_handles_split_arrival() {
+        let (mut a, mut b) = tcp_pair();
+        let writer = std::thread::spawn(move || {
+            a.write_all(b"GET /y HTTP/1.0\r\nHo").expect("write");
+            a.flush().expect("flush");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            a.write_all(b"st: s.local\r\n\r\nBODY").expect("write");
         });
-        let (head, rest) = read_request_head(&mut b).await.unwrap();
-        writer.await.unwrap();
+        let (head, rest) = read_request_head(&mut b).expect("reads");
+        writer.join().expect("writer");
         assert_eq!(head.path, "/y");
         assert_eq!(head.host().as_deref(), Some("s.local"));
         assert_eq!(rest, b"BODY");
     }
 
-    #[tokio::test]
-    async fn response_round_trip() {
-        let (mut a, mut b) = tokio::io::duplex(1024);
-        let server = tokio::spawn(async move {
-            write_ok_response(&mut a, 10_000).await.unwrap();
+    #[test]
+    fn response_round_trip() {
+        let (mut a, mut b) = tcp_pair();
+        let server = std::thread::spawn(move || {
+            write_ok_response(&mut a, 10_000).expect("writes");
             // Dropping `a` closes the stream (HTTP/1.0 semantics).
         });
-        let (code, body) = read_response(&mut b).await.unwrap();
-        server.await.unwrap();
+        let (code, body) = read_response(&mut b).expect("reads");
+        server.join().expect("server");
         assert_eq!(code, 200);
         assert_eq!(body, 10_000);
     }
 
-    #[tokio::test]
-    async fn oversized_head_is_rejected() {
-        let (mut a, mut b) = tokio::io::duplex(4096);
-        let writer = tokio::spawn(async move {
-            a.write_all(b"GET / HTTP/1.0\r\n").await.unwrap();
+    #[test]
+    fn oversized_head_is_rejected() {
+        let (mut a, mut b) = tcp_pair();
+        let writer = std::thread::spawn(move || {
+            if a.write_all(b"GET / HTTP/1.0\r\n").is_err() {
+                return;
+            }
             // Pour header bytes well past MAX_HEAD_BYTES without ever
             // closing the head.
             let filler = vec![b'x'; 1024];
             for _ in 0..12 {
-                if a.write_all(b"X-Junk: ").await.is_err() {
-                    return;
-                }
-                if a.write_all(&filler).await.is_err() {
-                    return;
-                }
-                if a.write_all(b"\r\n").await.is_err() {
+                if a.write_all(b"X-Junk: ").is_err()
+                    || a.write_all(&filler).is_err()
+                    || a.write_all(b"\r\n").is_err()
+                {
                     return;
                 }
             }
         });
-        let err = read_request_head(&mut b).await.unwrap_err();
+        let err = read_request_head(&mut b).expect_err("must reject");
         assert!(matches!(err, HttpError::Truncated), "got {err}");
         drop(b);
-        let _ = writer.await;
+        let _ = writer.join();
     }
 
-    #[tokio::test]
-    async fn early_close_is_truncated() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        a.write_all(b"GET / HT").await.unwrap();
+    #[test]
+    fn early_close_is_truncated() {
+        let (mut a, mut b) = tcp_pair();
+        a.write_all(b"GET / HT").expect("write");
         drop(a);
-        let err = read_request_head(&mut b).await.unwrap_err();
+        let err = read_request_head(&mut b).expect_err("must reject");
         assert!(matches!(err, HttpError::Truncated));
     }
 
-    #[tokio::test]
-    async fn error_response_parses() {
-        let (mut a, mut b) = tokio::io::duplex(1024);
-        let server = tokio::spawn(async move {
-            write_error_response(&mut a, "503 Service Unavailable")
-                .await
-                .unwrap();
+    #[test]
+    fn error_response_parses() {
+        let (mut a, mut b) = tcp_pair();
+        let server = std::thread::spawn(move || {
+            write_error_response(&mut a, "503 Service Unavailable").expect("writes");
         });
-        let (code, body) = read_response(&mut b).await.unwrap();
-        server.await.unwrap();
+        let (code, body) = read_response(&mut b).expect("reads");
+        server.join().expect("server");
         assert_eq!(code, 503);
         assert_eq!(body, 0);
     }

@@ -1,6 +1,6 @@
-//! The real-network Gage variant: an asynchronous splicing front end, cost-
-//! calibrated back-end servers and an open-loop load client, all on real TCP
-//! sockets via tokio.
+//! The real-network Gage variant: a splicing front end, cost-calibrated
+//! back-end servers and an open-loop load client, all on real TCP sockets
+//! with thread-per-connection concurrency.
 //!
 //! This crate demonstrates the same control plane as the simulated cluster
 //! (`gage-cluster`) — host-based classification, per-subscriber queues, the

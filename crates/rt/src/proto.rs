@@ -1,14 +1,12 @@
 //! The RPN → RDN control protocol: newline-delimited JSON messages over a
 //! persistent TCP connection.
 
+use std::io::{BufRead, Write};
+
 use gage_core::accounting::UsageReport;
-use serde::{Deserialize, Serialize};
-use tokio::io::{AsyncBufReadExt, AsyncWrite, AsyncWriteExt, BufReader};
-use tokio::net::tcp::OwnedReadHalf;
 
 /// Messages a back end sends the front end.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlMsg {
     /// First message on the control connection: which HTTP address this
     /// back end serves on (the front end maps it to an `RpnId`).
@@ -24,19 +22,49 @@ pub enum ControlMsg {
     },
 }
 
+impl ControlMsg {
+    /// Serializes to the tagged wire object, e.g.
+    /// `{"type":"register","http_addr":"127.0.0.1:9001"}`.
+    pub fn to_json(&self) -> gage_json::Json {
+        match self {
+            ControlMsg::Register { http_addr } => gage_json::Json::obj([
+                ("type", gage_json::Json::str("register")),
+                ("http_addr", gage_json::Json::str(http_addr)),
+            ]),
+            ControlMsg::Report { report } => gage_json::Json::obj([
+                ("type", gage_json::Json::str("report")),
+                ("report", report.to_json()),
+            ]),
+        }
+    }
+
+    /// Parses a wire object written by [`ControlMsg::to_json`].
+    pub fn from_json(v: &gage_json::Json) -> Option<Self> {
+        match v.get("type")?.as_str()? {
+            "register" => Some(ControlMsg::Register {
+                http_addr: v.get("http_addr")?.as_str()?.to_string(),
+            }),
+            "report" => Some(ControlMsg::Report {
+                report: UsageReport::from_json(v.get("report")?)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Serializes one message as a JSON line.
 ///
 /// # Errors
 ///
-/// Propagates transport errors; serialization of these types cannot fail.
-pub async fn send_msg<W>(writer: &mut W, msg: &ControlMsg) -> std::io::Result<()>
+/// Propagates transport errors.
+pub fn send_msg<W>(writer: &mut W, msg: &ControlMsg) -> std::io::Result<()>
 where
-    W: AsyncWrite + Unpin,
+    W: Write,
 {
-    let mut line = serde_json::to_vec(msg).expect("control messages serialize");
+    let mut line = msg.to_json().to_string().into_bytes();
     line.push(b'\n');
-    writer.write_all(&line).await?;
-    writer.flush().await
+    writer.write_all(&line)?;
+    writer.flush()
 }
 
 /// Reads the next message, or `None` on clean EOF.
@@ -45,17 +73,20 @@ where
 ///
 /// Propagates transport errors; malformed lines are reported as
 /// `InvalidData`.
-pub async fn recv_msg(
-    reader: &mut BufReader<OwnedReadHalf>,
-) -> std::io::Result<Option<ControlMsg>> {
+pub fn recv_msg<R>(reader: &mut R) -> std::io::Result<Option<ControlMsg>>
+where
+    R: BufRead,
+{
     let mut line = String::new();
-    let n = reader.read_line(&mut line).await?;
+    let n = reader.read_line(&mut line)?;
     if n == 0 {
         return Ok(None);
     }
-    serde_json::from_str(line.trim_end())
+    let invalid = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+    let doc = gage_json::parse(line.trim_end()).map_err(|e| invalid(e.to_string()))?;
+    ControlMsg::from_json(&doc)
         .map(Some)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        .ok_or_else(|| invalid("unrecognized control message".to_string()))
 }
 
 #[cfg(test)]
@@ -63,6 +94,8 @@ mod tests {
     use super::*;
     use gage_core::node::RpnId;
     use gage_core::resource::ResourceVector;
+    use std::io::BufReader;
+    use std::net::{TcpListener, TcpStream};
 
     #[test]
     fn round_trip_json() {
@@ -74,31 +107,36 @@ mod tests {
                 per_subscriber: vec![],
             },
         };
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: ControlMsg = serde_json::from_str(&json).unwrap();
+        let text = msg.to_json().to_string();
+        let back =
+            ControlMsg::from_json(&gage_json::parse(&text).expect("parses")).expect("well-formed");
         assert_eq!(back, msg);
     }
 
-    #[tokio::test]
-    async fn send_recv_over_tcp() {
-        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
-        let addr = listener.local_addr().unwrap();
-        let client = tokio::spawn(async move {
-            let mut stream = tokio::net::TcpStream::connect(addr).await.unwrap();
+    #[test]
+    fn rejects_unknown_type() {
+        let doc = gage_json::parse(r#"{"type":"launch_missiles"}"#).expect("parses");
+        assert!(ControlMsg::from_json(&doc).is_none());
+    }
+
+    #[test]
+    fn send_recv_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
             send_msg(
                 &mut stream,
                 &ControlMsg::Register {
                     http_addr: "127.0.0.1:9001".into(),
                 },
             )
-            .await
-            .unwrap();
+            .expect("send");
         });
-        let (stream, _) = listener.accept().await.unwrap();
-        let (rd, _wr) = stream.into_split();
-        let mut reader = BufReader::new(rd);
-        let msg = recv_msg(&mut reader).await.unwrap().unwrap();
-        client.await.unwrap();
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream);
+        let msg = recv_msg(&mut reader).expect("recv").expect("one message");
+        client.join().expect("client");
         assert_eq!(
             msg,
             ControlMsg::Register {
@@ -106,6 +144,6 @@ mod tests {
             }
         );
         // EOF after the client hangs up.
-        assert!(recv_msg(&mut reader).await.unwrap().is_none());
+        assert!(recv_msg(&mut reader).expect("eof").is_none());
     }
 }

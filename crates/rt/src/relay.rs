@@ -8,51 +8,77 @@
 //! behaviour — classification, queueing, scheduling, accounting — is
 //! identical; the data plane costs one extra copy through the front end.
 
-use tokio::io::{AsyncRead, AsyncWrite};
+use std::io;
+use std::net::{Shutdown, TcpStream};
 
 /// Relays bytes bidirectionally until both sides close; returns
 /// `(client_to_server, server_to_client)` byte counts.
 ///
 /// # Errors
 ///
-/// Propagates the first transport error from either direction.
-pub async fn splice<A, B>(client: &mut A, server: &mut B) -> std::io::Result<(u64, u64)>
-where
-    A: AsyncRead + AsyncWrite + Unpin,
-    B: AsyncRead + AsyncWrite + Unpin,
-{
-    tokio::io::copy_bidirectional(client, server).await
+/// Propagates the first transport error from either direction (a peer
+/// closing normally is not an error).
+pub fn splice(client: &TcpStream, server: &TcpStream) -> io::Result<(u64, u64)> {
+    let mut c2s_read = client.try_clone()?;
+    let mut c2s_write = server.try_clone()?;
+    let forward = std::thread::spawn(move || {
+        let n = io::copy(&mut c2s_read, &mut c2s_write);
+        // Propagate our EOF so the server can finish.
+        let _ = c2s_write.shutdown(Shutdown::Write);
+        n
+    });
+    let mut s2c_read = server.try_clone()?;
+    let mut s2c_write = client.try_clone()?;
+    let s2c = {
+        let n = io::copy(&mut s2c_read, &mut s2c_write);
+        let _ = s2c_write.shutdown(Shutdown::Write);
+        n
+    };
+    let c2s = forward
+        .join()
+        .map_err(|_| io::Error::other("relay thread panicked"))?;
+    Ok((c2s?, s2c?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
 
-    #[tokio::test]
-    async fn bytes_flow_both_ways() {
-        let (mut client_app, mut client_proxy) = tokio::io::duplex(1024);
-        let (mut server_proxy, mut server_app) = tokio::io::duplex(1024);
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
 
-        let proxy = tokio::spawn(async move {
-            splice(&mut client_proxy, &mut server_proxy).await.unwrap()
-        });
+    #[test]
+    fn bytes_flow_both_ways() {
+        let (client_app, client_proxy) = tcp_pair();
+        let (server_proxy, server_app) = tcp_pair();
+
+        let proxy =
+            std::thread::spawn(move || splice(&client_proxy, &server_proxy).expect("splice"));
 
         // Client sends a request; server answers and closes.
-        client_app.write_all(b"ping").await.unwrap();
+        let mut client_app = client_app;
+        let mut server_app = server_app;
+        client_app.write_all(b"ping").expect("write");
         let mut buf = [0u8; 4];
-        server_app.read_exact(&mut buf).await.unwrap();
+        server_app.read_exact(&mut buf).expect("read");
         assert_eq!(&buf, b"ping");
-        server_app.write_all(b"pong!").await.unwrap();
+        server_app.write_all(b"pong!").expect("write");
         drop(server_app);
 
-        let mut out = Vec::new();
         // Close our write half so the relay can finish.
-        client_app.shutdown().await.unwrap();
-        client_app.read_to_end(&mut out).await.unwrap();
+        client_app.shutdown(Shutdown::Write).expect("shutdown");
+        let mut out = Vec::new();
+        client_app.read_to_end(&mut out).expect("read");
         assert_eq!(out, b"pong!");
 
-        let (c2s, s2c) = proxy.await.unwrap();
+        let (c2s, s2c) = proxy.join().expect("proxy");
         assert_eq!(c2s, 4);
         assert_eq!(s2c, 5);
     }

@@ -8,8 +8,8 @@ use gage_rt::backend::BackendCost;
 use gage_rt::client::{run_load, ClientConfig};
 use gage_rt::harness::{deploy, DeployOptions};
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn reserved_site_survives_an_overload_next_door() {
+#[test]
+fn reserved_site_survives_an_overload_next_door() {
     // Two back ends, each able to serve ~200 requests/s of 6 KiB responses
     // (5 ms CPU per request), so the cluster saturates around 400 req/s.
     let deployment = deploy(DeployOptions {
@@ -25,28 +25,31 @@ async fn reserved_site_survives_an_overload_next_door() {
         },
         accounting_cycle: Duration::from_millis(100),
     })
-    .await
     .expect("deployment starts");
 
     let target = deployment.frontend.http_addr;
     // Let the back ends register before offering load.
-    tokio::time::sleep(Duration::from_millis(300)).await;
+    std::thread::sleep(Duration::from_millis(300));
 
-    let gold = tokio::spawn(run_load(ClientConfig {
-        duration: Duration::from_secs(4),
-        size: 6 * 1024,
-        timeout: Duration::from_secs(3),
-        ..ClientConfig::new(target, "gold.local", 40.0)
-    }));
-    let hog = tokio::spawn(run_load(ClientConfig {
-        duration: Duration::from_secs(4),
-        size: 6 * 1024,
-        timeout: Duration::from_secs(3),
-        ..ClientConfig::new(target, "hog.local", 700.0)
-    }));
+    let gold = std::thread::spawn(move || {
+        run_load(ClientConfig {
+            duration: Duration::from_secs(4),
+            size: 6 * 1024,
+            timeout: Duration::from_secs(3),
+            ..ClientConfig::new(target, "gold.local", 40.0)
+        })
+    });
+    let hog = std::thread::spawn(move || {
+        run_load(ClientConfig {
+            duration: Duration::from_secs(4),
+            size: 6 * 1024,
+            timeout: Duration::from_secs(3),
+            ..ClientConfig::new(target, "hog.local", 700.0)
+        })
+    });
 
-    let gold_stats = gold.await.expect("gold client");
-    let hog_stats = hog.await.expect("hog client");
+    let gold_stats = gold.join().expect("gold client");
+    let hog_stats = hog.join().expect("hog client");
 
     println!(
         "gold: attempted {} ok {} dropped {} errors {}",
@@ -77,7 +80,7 @@ async fn reserved_site_survives_an_overload_next_door() {
     );
 
     // The front end observed completions via accounting reports.
-    tokio::time::sleep(Duration::from_millis(300)).await;
+    std::thread::sleep(Duration::from_millis(300));
     let gold_counters = deployment.frontend.counters(SubscriberId(0));
     assert!(
         gold_counters.completed > 0,
@@ -85,21 +88,20 @@ async fn reserved_site_survives_an_overload_next_door() {
     );
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn unknown_host_is_rejected() {
-    let deployment = deploy(DeployOptions::default()).await.expect("deploys");
+#[test]
+fn unknown_host_is_rejected() {
+    let deployment = deploy(DeployOptions::default()).expect("deploys");
     let stats = run_load(ClientConfig {
         duration: Duration::from_millis(500),
         timeout: Duration::from_secs(2),
         ..ClientConfig::new(deployment.frontend.http_addr, "nobody.local", 20.0)
-    })
-    .await;
+    });
     assert_eq!(stats.ok, 0);
     assert!(stats.errors > 0, "404s count as errors");
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn small_load_is_fully_served() {
+#[test]
+fn small_load_is_fully_served() {
     let deployment = deploy(DeployOptions {
         backends: 1,
         sites: vec![("solo.local".to_string(), 100.0)],
@@ -110,16 +112,14 @@ async fn small_load_is_fully_served() {
         },
         accounting_cycle: Duration::from_millis(100),
     })
-    .await
     .expect("deploys");
-    tokio::time::sleep(Duration::from_millis(200)).await;
+    std::thread::sleep(Duration::from_millis(200));
     let stats = run_load(ClientConfig {
         duration: Duration::from_secs(2),
         size: 2_048,
         timeout: Duration::from_secs(2),
         ..ClientConfig::new(deployment.frontend.http_addr, "solo.local", 30.0)
-    })
-    .await;
+    });
     println!(
         "solo: attempted {} ok {} dropped {} errors {}",
         stats.attempted, stats.ok, stats.dropped, stats.errors
@@ -133,8 +133,8 @@ async fn small_load_is_fully_served() {
     assert!(stats.bytes >= stats.ok * 2_048);
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn trace_replay_drives_the_live_stack() {
+#[test]
+fn trace_replay_drives_the_live_stack() {
     use gage_rt::client::replay_trace;
     use gage_workload::{ArrivalProcess, SyntheticGenerator, Trace};
     use rand::SeedableRng;
@@ -149,9 +149,8 @@ async fn trace_replay_drives_the_live_stack() {
         },
         accounting_cycle: Duration::from_millis(100),
     })
-    .await
     .expect("deploys");
-    tokio::time::sleep(Duration::from_millis(200)).await;
+    std::thread::sleep(Duration::from_millis(200));
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let mut gen = SyntheticGenerator::new(2_048, 3);
@@ -167,8 +166,7 @@ async fn trace_replay_drives_the_live_stack() {
         deployment.frontend.http_addr,
         &trace,
         Duration::from_secs(3),
-    )
-    .await;
+    );
     println!(
         "replay: attempted {} ok {} dropped {} errors {}",
         stats.attempted, stats.ok, stats.dropped, stats.errors

@@ -6,10 +6,9 @@
 //! the robustness experiments.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How request arrivals are spaced.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Exactly `rate` arrivals per second, evenly spaced (the paper's
     /// method).
@@ -98,7 +97,9 @@ impl ArrivalProcess {
                     }
                     for i in 0..per_burst {
                         let t = cycle_start + i as f64 / on_rate;
-                        if t < (cycle_start + on_secs).min(horizon_secs) && t - cycle_start < on_secs {
+                        if t < (cycle_start + on_secs).min(horizon_secs)
+                            && t - cycle_start < on_secs
+                        {
                             out.push(t);
                         }
                     }

@@ -7,8 +7,6 @@
 //! with probabilities 35/50/14/1 % and directories/files with Zipf-like
 //! popularity. This module reproduces that structure.
 
-use serde::{Deserialize, Serialize};
-
 /// Files per class within one directory.
 pub const FILES_PER_CLASS: u32 = 9;
 /// Classes per directory.
@@ -17,7 +15,7 @@ pub const CLASS_COUNT: u32 = 4;
 pub const CLASS_MIX: [f64; 4] = [0.35, 0.50, 0.14, 0.01];
 
 /// Identifies one file in a SPECWeb99-shaped population.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId {
     /// Directory index.
     pub dir: u32,
@@ -55,7 +53,7 @@ impl FileId {
 }
 
 /// One site's file population: `dir_count` directories of 36 files.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileSet {
     /// Number of directories.
     pub dir_count: u32,
@@ -128,7 +126,14 @@ mod tests {
 
     #[test]
     fn class_sizes_match_specweb() {
-        let f = |class, file| FileId { dir: 0, class, file }.size_bytes();
+        let f = |class, file| {
+            FileId {
+                dir: 0,
+                class,
+                file,
+            }
+            .size_bytes()
+        };
         assert_eq!(f(0, 0), 102); // 0.1 KB
         assert_eq!(f(0, 8), 922); // 0.9 KB
         assert_eq!(f(1, 0), 1_024); // 1 KB

@@ -36,7 +36,7 @@ pub use synthetic::SyntheticGenerator;
 pub use trace::{Trace, TraceEntry};
 
 /// A generated request: what is fetched and how large the response will be.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GeneratedRequest {
     /// Request path (e.g. `/dir0004/class1_3`).
     pub path: String,

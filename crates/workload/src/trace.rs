@@ -9,13 +9,12 @@
 use std::io::{Read, Write};
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::arrival::ArrivalProcess;
 use crate::{GeneratedRequest, RequestGenerator};
 
 /// One timestamped request against one host.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Issue time, microseconds from trace start.
     pub at_us: u64,
@@ -35,7 +34,7 @@ impl TraceEntry {
 }
 
 /// An ordered request trace.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     /// Entries sorted by `at_us`.
     pub entries: Vec<TraceEntry>,
@@ -74,8 +73,7 @@ impl Trace {
     /// Merges several traces into one, re-sorted by time (stable, so
     /// same-instant entries keep their per-trace order).
     pub fn merge(traces: impl IntoIterator<Item = Trace>) -> Self {
-        let mut entries: Vec<TraceEntry> =
-            traces.into_iter().flat_map(|t| t.entries).collect();
+        let mut entries: Vec<TraceEntry> = traces.into_iter().flat_map(|t| t.entries).collect();
         entries.sort_by_key(|e| e.at_us);
         Trace { entries }
     }
@@ -109,18 +107,57 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates I/O and serialization failures.
-    pub fn save_json<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
-        serde_json::to_writer(writer, self)
+    /// Propagates I/O failures.
+    pub fn save_json<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                gage_json::Json::obj([
+                    ("at_us", gage_json::Json::from(e.at_us)),
+                    ("host", gage_json::Json::str(&e.host)),
+                    ("path", gage_json::Json::str(&e.path)),
+                    ("size_bytes", gage_json::Json::from(e.size_bytes)),
+                ])
+            })
+            .collect();
+        let doc = gage_json::Json::obj([("entries", gage_json::Json::Arr(entries))]);
+        writer.write_all(doc.to_string().as_bytes())
     }
 
     /// Reads a trace written by [`Trace::save_json`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization failures.
-    pub fn load_json<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
-        serde_json::from_reader(reader)
+    /// Propagates I/O failures; malformed documents are reported as
+    /// `InvalidData`.
+    pub fn load_json<R: Read>(mut reader: R) -> std::io::Result<Self> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let invalid = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("trace json: {what}"),
+            )
+        };
+        let doc = gage_json::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let entries = doc
+            .get("entries")
+            .and_then(gage_json::Json::as_array)
+            .ok_or_else(|| invalid("missing entries array"))?
+            .iter()
+            .map(|v| {
+                Some(TraceEntry {
+                    at_us: v.get("at_us")?.as_u64()?,
+                    host: v.get("host")?.as_str()?.to_string(),
+                    path: v.get("path")?.as_str()?.to_string(),
+                    size_bytes: v.get("size_bytes")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| invalid("malformed entry"))?;
+        Ok(Trace { entries })
     }
 }
 

@@ -68,7 +68,13 @@ fn main() {
 
     println!(
         "{:<28} {:>9} {:>9} | {:>12} {:>14} | {:>12} {:>14}",
-        "tenant", "reserved", "offered", "Gage served", "Gage p99-ish", "plain served", "plain latency"
+        "tenant",
+        "reserved",
+        "offered",
+        "Gage served",
+        "Gage p99-ish",
+        "plain served",
+        "plain latency"
     );
     for (i, (host, reserved, _)) in TENANTS.iter().enumerate() {
         let g = &with_gage.subscribers[i];

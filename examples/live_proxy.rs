@@ -15,8 +15,7 @@ use gage::rt::backend::BackendCost;
 use gage::rt::client::{run_load, ClientConfig};
 use gage::rt::harness::{deploy, DeployOptions};
 
-#[tokio::main(flavor = "multi_thread")]
-async fn main() {
+fn main() {
     // Two back ends, each good for ~200 req/s of 6 KiB responses.
     let deployment = deploy(DeployOptions {
         backends: 2,
@@ -31,27 +30,30 @@ async fn main() {
         },
         accounting_cycle: Duration::from_millis(100),
     })
-    .await
     .expect("deployment starts");
     let target = deployment.frontend.http_addr;
     println!("front end listening on {target}; two back ends attached");
 
     // Let the back ends register their first usage reports.
-    tokio::time::sleep(Duration::from_millis(300)).await;
+    std::thread::sleep(Duration::from_millis(300));
 
     println!("driving 5s of load: steady.local at 50/s, greedy.local at 600/s ...");
-    let steady = tokio::spawn(run_load(ClientConfig {
-        duration: Duration::from_secs(5),
-        size: 6 * 1024,
-        ..ClientConfig::new(target, "steady.local", 50.0)
-    }));
-    let greedy = tokio::spawn(run_load(ClientConfig {
-        duration: Duration::from_secs(5),
-        size: 6 * 1024,
-        ..ClientConfig::new(target, "greedy.local", 600.0)
-    }));
-    let steady = steady.await.expect("steady client");
-    let greedy = greedy.await.expect("greedy client");
+    let steady = std::thread::spawn(move || {
+        run_load(ClientConfig {
+            duration: Duration::from_secs(5),
+            size: 6 * 1024,
+            ..ClientConfig::new(target, "steady.local", 50.0)
+        })
+    });
+    let greedy = std::thread::spawn(move || {
+        run_load(ClientConfig {
+            duration: Duration::from_secs(5),
+            size: 6 * 1024,
+            ..ClientConfig::new(target, "greedy.local", 600.0)
+        })
+    });
+    let steady = steady.join().expect("steady client");
+    let greedy = greedy.join().expect("greedy client");
 
     for (name, stats) in [("steady", &steady), ("greedy", &greedy)] {
         println!(

@@ -9,10 +9,14 @@
 //!   node selection and resource accounting,
 //! * [`workload`] — synthetic and SPECWeb99-shaped workload generators,
 //! * [`cluster`] — the packet-accurate simulated Gage cluster,
-//! * [`rt`] — the real-network (tokio) variant with multi-process binaries.
+//! * [`rt`] — the real-network (threaded TCP) variant with multi-process
+//!   binaries.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use gage_cluster as cluster;
 pub use gage_core as core;

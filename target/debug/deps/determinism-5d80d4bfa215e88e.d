@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-5d80d4bfa215e88e.d: crates/cluster/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-5d80d4bfa215e88e.rmeta: crates/cluster/tests/determinism.rs Cargo.toml
+
+crates/cluster/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

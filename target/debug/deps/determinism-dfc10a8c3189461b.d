@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-dfc10a8c3189461b.d: crates/cluster/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-dfc10a8c3189461b: crates/cluster/tests/determinism.rs
+
+crates/cluster/tests/determinism.rs:

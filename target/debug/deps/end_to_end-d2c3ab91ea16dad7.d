@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d2c3ab91ea16dad7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d2c3ab91ea16dad7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

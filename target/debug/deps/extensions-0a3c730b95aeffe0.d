@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-0a3c730b95aeffe0.d: crates/cluster/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-0a3c730b95aeffe0: crates/cluster/tests/extensions.rs
+
+crates/cluster/tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_deviation-48ffc416b3b9e2f3.d: crates/bench/src/bin/fig3_deviation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_deviation-48ffc416b3b9e2f3.rmeta: crates/bench/src/bin/fig3_deviation.rs Cargo.toml
+
+crates/bench/src/bin/fig3_deviation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

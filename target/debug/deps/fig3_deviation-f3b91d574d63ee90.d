@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_deviation-f3b91d574d63ee90.d: crates/bench/src/bin/fig3_deviation.rs
+
+/root/repo/target/debug/deps/fig3_deviation-f3b91d574d63ee90: crates/bench/src/bin/fig3_deviation.rs
+
+crates/bench/src/bin/fig3_deviation.rs:

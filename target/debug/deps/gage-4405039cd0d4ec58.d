@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage-4405039cd0d4ec58.d: src/lib.rs
+
+/root/repo/target/debug/deps/gage-4405039cd0d4ec58: src/lib.rs
+
+src/lib.rs:

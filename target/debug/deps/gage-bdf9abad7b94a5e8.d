@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage-bdf9abad7b94a5e8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage-bdf9abad7b94a5e8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gage-e2fdb6349f011ed6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgage-e2fdb6349f011ed6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgage-e2fdb6349f011ed6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gage_bench-41d202a834d95063.d: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_bench-41d202a834d95063.rmeta: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/overhead.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_client-05e3de16ca7f74f7.d: crates/rt/src/bin/gage_client.rs
+
+/root/repo/target/debug/deps/gage_client-05e3de16ca7f74f7: crates/rt/src/bin/gage_client.rs
+
+crates/rt/src/bin/gage_client.rs:

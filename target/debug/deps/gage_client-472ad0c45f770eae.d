@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_client-472ad0c45f770eae.d: crates/rt/src/bin/gage_client.rs
+
+/root/repo/target/debug/deps/gage_client-472ad0c45f770eae: crates/rt/src/bin/gage_client.rs
+
+crates/rt/src/bin/gage_client.rs:

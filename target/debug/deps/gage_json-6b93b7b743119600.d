@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_json-6b93b7b743119600.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_json-6b93b7b743119600.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

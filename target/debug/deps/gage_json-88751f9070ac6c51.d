@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_json-88751f9070ac6c51.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_json-88751f9070ac6c51.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

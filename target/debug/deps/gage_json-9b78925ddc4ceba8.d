@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gage_json-9b78925ddc4ceba8.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libgage_json-9b78925ddc4ceba8.rlib: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libgage_json-9b78925ddc4ceba8.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

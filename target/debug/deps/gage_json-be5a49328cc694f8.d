@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_json-be5a49328cc694f8.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/gage_json-be5a49328cc694f8: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

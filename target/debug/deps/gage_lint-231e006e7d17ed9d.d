@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_lint-231e006e7d17ed9d.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_lint-231e006e7d17ed9d.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_lint-3bda8fcab153b7e7.d: crates/lint/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_lint-3bda8fcab153b7e7.rmeta: crates/lint/src/lib.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

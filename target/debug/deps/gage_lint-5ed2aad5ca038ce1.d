@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_lint-5ed2aad5ca038ce1.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/gage_lint-5ed2aad5ca038ce1: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_lint-6e15cc70a528ca97.d: crates/lint/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_lint-6e15cc70a528ca97.rmeta: crates/lint/src/lib.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

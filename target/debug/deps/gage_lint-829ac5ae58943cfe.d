@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_lint-829ac5ae58943cfe.d: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/gage_lint-829ac5ae58943cfe: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

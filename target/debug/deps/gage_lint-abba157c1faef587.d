@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_lint-abba157c1faef587.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_lint-abba157c1faef587.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

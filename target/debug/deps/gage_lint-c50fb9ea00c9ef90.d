@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gage_lint-c50fb9ea00c9ef90.d: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/libgage_lint-c50fb9ea00c9ef90.rlib: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/libgage_lint-c50fb9ea00c9ef90.rmeta: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_lint-ce2f80b334cd87d5.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/gage_lint-ce2f80b334cd87d5: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

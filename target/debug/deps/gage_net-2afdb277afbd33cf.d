@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gage_net-2afdb277afbd33cf.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/gage_net-2afdb277afbd33cf: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/eth.rs:
+crates/net/src/ipv4.rs:
+crates/net/src/packet.rs:
+crates/net/src/seq.rs:
+crates/net/src/splice.rs:
+crates/net/src/switch.rs:
+crates/net/src/tcp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gage_net-cadab5bf5dbe13d5.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/libgage_net-cadab5bf5dbe13d5.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/libgage_net-cadab5bf5dbe13d5.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/eth.rs:
+crates/net/src/ipv4.rs:
+crates/net/src/packet.rs:
+crates/net/src/seq.rs:
+crates/net/src/splice.rs:
+crates/net/src/switch.rs:
+crates/net/src/tcp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gage_net-e6a3b5e9b1c54472.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_net-e6a3b5e9b1c54472.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/endpoint.rs crates/net/src/eth.rs crates/net/src/ipv4.rs crates/net/src/packet.rs crates/net/src/seq.rs crates/net/src/splice.rs crates/net/src/switch.rs crates/net/src/tcp.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/endpoint.rs:
+crates/net/src/eth.rs:
+crates/net/src/ipv4.rs:
+crates/net/src/packet.rs:
+crates/net/src/seq.rs:
+crates/net/src/splice.rs:
+crates/net/src/switch.rs:
+crates/net/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rdn-c0a3204bd31adb39.d: crates/rt/src/bin/gage_rdn.rs
+
+/root/repo/target/debug/deps/gage_rdn-c0a3204bd31adb39: crates/rt/src/bin/gage_rdn.rs
+
+crates/rt/src/bin/gage_rdn.rs:

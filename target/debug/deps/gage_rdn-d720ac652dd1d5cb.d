@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rdn-d720ac652dd1d5cb.d: crates/rt/src/bin/gage_rdn.rs
+
+/root/repo/target/debug/deps/gage_rdn-d720ac652dd1d5cb: crates/rt/src/bin/gage_rdn.rs
+
+crates/rt/src/bin/gage_rdn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rpn-13b8197097a61ea2.d: crates/rt/src/bin/gage_rpn.rs
+
+/root/repo/target/debug/deps/gage_rpn-13b8197097a61ea2: crates/rt/src/bin/gage_rpn.rs
+
+crates/rt/src/bin/gage_rpn.rs:

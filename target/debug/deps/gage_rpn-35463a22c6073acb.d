@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rpn-35463a22c6073acb.d: crates/rt/src/bin/gage_rpn.rs
+
+/root/repo/target/debug/deps/gage_rpn-35463a22c6073acb: crates/rt/src/bin/gage_rpn.rs
+
+crates/rt/src/bin/gage_rpn.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gage_rt-c15db600ec2906e9.d: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+/root/repo/target/debug/deps/gage_rt-c15db600ec2906e9: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/backend.rs:
+crates/rt/src/client.rs:
+crates/rt/src/frontend.rs:
+crates/rt/src/harness.rs:
+crates/rt/src/http.rs:
+crates/rt/src/proto.rs:
+crates/rt/src/relay.rs:

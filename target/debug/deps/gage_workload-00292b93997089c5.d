@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gage_workload-00292b93997089c5.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/gage_workload-00292b93997089c5: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/specweb.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

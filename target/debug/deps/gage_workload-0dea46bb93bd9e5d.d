@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gage_workload-0dea46bb93bd9e5d.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_workload-0dea46bb93bd9e5d.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/specweb.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gage_workload-a3b628ea6ec64666.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libgage_workload-a3b628ea6ec64666.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libgage_workload-a3b628ea6ec64666.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/specweb.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_cluster-0b97ce28a9a919bc.d: crates/rt/tests/live_cluster.rs
+
+/root/repo/target/debug/deps/live_cluster-0b97ce28a9a919bc: crates/rt/tests/live_cluster.rs
+
+crates/rt/tests/live_cluster.rs:

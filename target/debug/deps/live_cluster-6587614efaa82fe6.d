@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_cluster-6587614efaa82fe6.d: crates/rt/tests/live_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_cluster-6587614efaa82fe6.rmeta: crates/rt/tests/live_cluster.rs Cargo.toml
+
+crates/rt/tests/live_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

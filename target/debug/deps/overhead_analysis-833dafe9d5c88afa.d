@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_analysis-833dafe9d5c88afa.d: crates/bench/src/bin/overhead_analysis.rs
+
+/root/repo/target/debug/deps/overhead_analysis-833dafe9d5c88afa: crates/bench/src/bin/overhead_analysis.rs
+
+crates/bench/src/bin/overhead_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_event_queue-baf58b27d32b7c22.d: crates/des/tests/prop_event_queue.rs
+
+/root/repo/target/debug/deps/prop_event_queue-baf58b27d32b7c22: crates/des/tests/prop_event_queue.rs
+
+crates/des/tests/prop_event_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_wire-40e67f244c9dc492.d: crates/net/tests/prop_wire.rs
+
+/root/repo/target/debug/deps/prop_wire-40e67f244c9dc492: crates/net/tests/prop_wire.rs
+
+crates/net/tests/prop_wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_wire-eb00c74437633d1e.d: crates/net/tests/prop_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_wire-eb00c74437633d1e.rmeta: crates/net/tests/prop_wire.rs Cargo.toml
+
+crates/net/tests/prop_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fdef693363ba0bea.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fdef693363ba0bea: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-1ecbb2e7b524b6f0.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-1ecbb2e7b524b6f0: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-2daa987460910809.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-2daa987460910809: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/self_test-7d5ce128ec5ba33e.d: crates/lint/tests/self_test.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_test-7d5ce128ec5ba33e.rmeta: crates/lint/tests/self_test.rs Cargo.toml
+
+crates/lint/tests/self_test.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

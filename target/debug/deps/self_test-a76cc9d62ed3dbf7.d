@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/self_test-a76cc9d62ed3dbf7.d: crates/lint/tests/self_test.rs
+
+/root/repo/target/debug/deps/self_test-a76cc9d62ed3dbf7: crates/lint/tests/self_test.rs
+
+crates/lint/tests/self_test.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

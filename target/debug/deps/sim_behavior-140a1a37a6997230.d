@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-140a1a37a6997230.d: crates/cluster/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-140a1a37a6997230: crates/cluster/tests/sim_behavior.rs
+
+crates/cluster/tests/sim_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/splice_pipeline-14a834adf6a97b1e.d: tests/splice_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplice_pipeline-14a834adf6a97b1e.rmeta: tests/splice_pipeline.rs Cargo.toml
+
+tests/splice_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

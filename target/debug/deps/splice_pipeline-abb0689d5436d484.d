@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/splice_pipeline-abb0689d5436d484.d: tests/splice_pipeline.rs
+
+/root/repo/target/debug/deps/splice_pipeline-abb0689d5436d484: tests/splice_pipeline.rs
+
+tests/splice_pipeline.rs:

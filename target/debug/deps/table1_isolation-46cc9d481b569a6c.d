@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_isolation-46cc9d481b569a6c.d: crates/bench/src/bin/table1_isolation.rs
+
+/root/repo/target/debug/deps/table1_isolation-46cc9d481b569a6c: crates/bench/src/bin/table1_isolation.rs
+
+crates/bench/src/bin/table1_isolation.rs:

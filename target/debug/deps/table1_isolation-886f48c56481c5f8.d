@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_isolation-886f48c56481c5f8.d: crates/bench/src/bin/table1_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_isolation-886f48c56481c5f8.rmeta: crates/bench/src/bin/table1_isolation.rs Cargo.toml
+
+crates/bench/src/bin/table1_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_spare-a19b205fdd389b75.d: crates/bench/src/bin/table2_spare.rs
+
+/root/repo/target/debug/deps/table2_spare-a19b205fdd389b75: crates/bench/src/bin/table2_spare.rs
+
+crates/bench/src/bin/table2_spare.rs:

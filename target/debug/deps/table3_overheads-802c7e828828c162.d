@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_overheads-802c7e828828c162.d: crates/bench/benches/table3_overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_overheads-802c7e828828c162.rmeta: crates/bench/benches/table3_overheads.rs Cargo.toml
+
+crates/bench/benches/table3_overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

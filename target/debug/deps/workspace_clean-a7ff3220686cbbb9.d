@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-a7ff3220686cbbb9.d: crates/lint/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/workspace_clean-a7ff3220686cbbb9: crates/lint/tests/workspace_clean.rs
+
+crates/lint/tests/workspace_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

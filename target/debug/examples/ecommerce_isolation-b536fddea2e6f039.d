@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecommerce_isolation-b536fddea2e6f039.d: examples/ecommerce_isolation.rs
+
+/root/repo/target/debug/examples/ecommerce_isolation-b536fddea2e6f039: examples/ecommerce_isolation.rs
+
+examples/ecommerce_isolation.rs:

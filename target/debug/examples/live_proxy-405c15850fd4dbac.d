@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_proxy-405c15850fd4dbac.d: examples/live_proxy.rs
+
+/root/repo/target/debug/examples/live_proxy-405c15850fd4dbac: examples/live_proxy.rs
+
+examples/live_proxy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_proxy-d32a3baf5385dfdf.d: examples/live_proxy.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_proxy-d32a3baf5385dfdf.rmeta: examples/live_proxy.rs Cargo.toml
+
+examples/live_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d4f4c25978989a02.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d4f4c25978989a02: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/specweb_replay-bbc46860a2c4da9f.d: examples/specweb_replay.rs
+
+/root/repo/target/debug/examples/specweb_replay-bbc46860a2c4da9f: examples/specweb_replay.rs
+
+examples/specweb_replay.rs:

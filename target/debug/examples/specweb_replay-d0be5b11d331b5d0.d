@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/specweb_replay-d0be5b11d331b5d0.d: examples/specweb_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspecweb_replay-d0be5b11d331b5d0.rmeta: examples/specweb_replay.rs Cargo.toml
+
+examples/specweb_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/gage-lint: /root/repo/crates/lint/src/lib.rs /root/repo/crates/lint/src/main.rs

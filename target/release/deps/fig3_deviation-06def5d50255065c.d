@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_deviation-06def5d50255065c.d: crates/bench/src/bin/fig3_deviation.rs
+
+/root/repo/target/release/deps/fig3_deviation-06def5d50255065c: crates/bench/src/bin/fig3_deviation.rs
+
+crates/bench/src/bin/fig3_deviation.rs:

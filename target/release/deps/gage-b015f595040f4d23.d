@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gage-b015f595040f4d23.d: src/lib.rs
+
+/root/repo/target/release/deps/libgage-b015f595040f4d23.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgage-b015f595040f4d23.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_client-f6c7a7b075ee24b8.d: crates/rt/src/bin/gage_client.rs
+
+/root/repo/target/release/deps/gage_client-f6c7a7b075ee24b8: crates/rt/src/bin/gage_client.rs
+
+crates/rt/src/bin/gage_client.rs:

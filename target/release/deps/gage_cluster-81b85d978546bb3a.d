@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gage_cluster-81b85d978546bb3a.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libgage_cluster-81b85d978546bb3a.rlib: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libgage_cluster-81b85d978546bb3a.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/process.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gage_json-1f3360aa2b70697e.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libgage_json-1f3360aa2b70697e.rlib: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libgage_json-1f3360aa2b70697e.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

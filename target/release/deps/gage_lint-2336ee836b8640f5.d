@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_lint-2336ee836b8640f5.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/gage_lint-2336ee836b8640f5: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gage_lint-30ca66eff5d4bc37.d: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/libgage_lint-30ca66eff5d4bc37.rlib: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/libgage_lint-30ca66eff5d4bc37.rmeta: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_rdn-01afa37742e0300d.d: crates/rt/src/bin/gage_rdn.rs
+
+/root/repo/target/release/deps/gage_rdn-01afa37742e0300d: crates/rt/src/bin/gage_rdn.rs
+
+crates/rt/src/bin/gage_rdn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_rpn-54c90fb883827b65.d: crates/rt/src/bin/gage_rpn.rs
+
+/root/repo/target/release/deps/gage_rpn-54c90fb883827b65: crates/rt/src/bin/gage_rpn.rs
+
+crates/rt/src/bin/gage_rpn.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gage_workload-643a77c47a09f9b5.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libgage_workload-643a77c47a09f9b5.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libgage_workload-643a77c47a09f9b5.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/fileset.rs crates/workload/src/specweb.rs crates/workload/src/synthetic.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/specweb.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead_analysis-cf7a0b749815872f.d: crates/bench/src/bin/overhead_analysis.rs
+
+/root/repo/target/release/deps/overhead_analysis-cf7a0b749815872f: crates/bench/src/bin/overhead_analysis.rs
+
+crates/bench/src/bin/overhead_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-08554a22da9856c5.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-08554a22da9856c5: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-6c4a2cf641e3f5ab.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-6c4a2cf641e3f5ab: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_isolation-4201d61c34d1bb4d.d: crates/bench/src/bin/table1_isolation.rs
+
+/root/repo/target/release/deps/table1_isolation-4201d61c34d1bb4d: crates/bench/src/bin/table1_isolation.rs
+
+crates/bench/src/bin/table1_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_spare-c1f84bf0b38be256.d: crates/bench/src/bin/table2_spare.rs
+
+/root/repo/target/release/deps/table2_spare-c1f84bf0b38be256: crates/bench/src/bin/table2_spare.rs
+
+crates/bench/src/bin/table2_spare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_overheads-8d95f74669de24c4.d: crates/bench/benches/table3_overheads.rs
+
+/root/repo/target/release/deps/table3_overheads-8d95f74669de24c4: crates/bench/benches/table3_overheads.rs
+
+crates/bench/benches/table3_overheads.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libgage_lint.rlib: /root/repo/crates/lint/src/lib.rs

@@ -45,7 +45,10 @@ fn spliced_connection_carries_a_full_exchange() {
 
     // Client sends the URL.
     let mut out = Vec::new();
-    client.send(Bytes::from_static(b"GET /x HTTP/1.0\r\nHost: site1\r\n\r\n"), &mut out);
+    client.send(
+        Bytes::from_static(b"GET /x HTTP/1.0\r\nHost: site1\r\n\r\n"),
+        &mut out,
+    );
     drain_sends(out, &mut to_cluster);
 
     // --- Second leg: the RPN's local service manager accepts the
@@ -92,8 +95,7 @@ fn spliced_connection_carries_a_full_exchange() {
         }
     }
     assert_eq!(
-        delivered_request,
-        b"GET /x HTTP/1.0\r\nHost: site1\r\n\r\n",
+        delivered_request, b"GET /x HTTP/1.0\r\nHost: site1\r\n\r\n",
         "request arrives intact at the RPN"
     );
 
