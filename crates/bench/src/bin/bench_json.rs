@@ -1,0 +1,76 @@
+//! Runs the hot-path microbenchmarks and emits/checks `BENCH_hotpath.json`.
+//!
+//! ```text
+//! bench_json [--quick] [--out <path>] [--compare <path>]
+//! ```
+//!
+//! * `--quick`    — fewer samples and a shorter simulated horizon (CI smoke).
+//! * `--out`      — write the JSON report to `<path>`.
+//! * `--compare`  — parse a committed baseline and exit non-zero if it is
+//!   malformed or any benchmark regressed more than 2x against it.
+
+use std::process::ExitCode;
+
+use gage_bench::hotpath::{self, HotpathReport};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--compare" => compare = args.next(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_json [--quick] [--out <path>] [--compare <path>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "running hot-path benchmarks ({})...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = hotpath::run(quick);
+    for p in &report.points {
+        println!("{:<26} {:>14.1} {}", p.name, p.value, p.metric);
+    }
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = compare {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match HotpathReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("baseline {path} is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = hotpath::compare(&baseline, &report);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("no regressions against {path}");
+    }
+    ExitCode::SUCCESS
+}

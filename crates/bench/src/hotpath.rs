@@ -1,0 +1,488 @@
+//! Hot-path microbenchmarks behind the repo's tracked perf baseline
+//! (`BENCH_hotpath.json`).
+//!
+//! Three costs bound Gage's throughput: the per-packet connection-table
+//! lookup (§3.3), event schedule/cancel/pop in the DES kernel, and the
+//! end-to-end event rate of the cluster simulation. Each benchmark here
+//! measures the current O(1) structures *and*, where the old code shape can
+//! be replicated inline, the pre-PR `BTreeMap`/`BTreeSet` equivalent — so
+//! the committed baseline carries honest before/after pairs measured on the
+//! same machine in the same run.
+//!
+//! Everything returns structured [`BenchPoint`]s; the `bench_json` binary
+//! does the printing and file IO.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use gage_cluster::params::{ClusterParams, ServiceCostModel};
+use gage_cluster::sim::{ClusterSim, SiteSpec};
+use gage_core::conn_table::{ConnTable, Route};
+use gage_core::node::RpnId;
+use gage_core::resource::Grps;
+use gage_des::{EventQueue, SimTime};
+use gage_json::Json;
+use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
+use gage_workload::{ArrivalProcess, SyntheticGenerator, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Schema tag stamped into the JSON report.
+pub const SCHEMA: &str = "gage-hotpath-v1";
+
+/// Factor by which a benchmark may degrade against the committed baseline
+/// before [`compare`] reports a regression.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Stable benchmark identifier (`conn_lookup_100k`, …).
+    pub name: String,
+    /// Unit: `ns_per_op` or `events_per_sec`.
+    pub metric: String,
+    /// The measurement.
+    pub value: f64,
+    /// Whether smaller values are better (false for throughput metrics).
+    pub lower_is_better: bool,
+}
+
+/// A full benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathReport {
+    /// All measured points, in run order.
+    pub points: Vec<BenchPoint>,
+}
+
+impl HotpathReport {
+    /// Serializes the report (schema-tagged, machine-diffable).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("name", Json::str(p.name.clone())),
+                                ("metric", Json::str(p.metric.clone())),
+                                ("value", Json::from(p.value)),
+                                ("lower_is_better", Json::from(p.lower_is_better)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a report produced by [`HotpathReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem (bad JSON, wrong schema tag,
+    /// missing field) — the CI smoke job turns any of these into a failure.
+    pub fn from_json(text: &str) -> Result<HotpathReport, String> {
+        let doc = gage_json::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let raw_points = doc
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or("missing points array")?;
+        let mut points = Vec::with_capacity(raw_points.len());
+        for (i, p) in raw_points.iter().enumerate() {
+            let field = |key: &str| p.get(key).ok_or(format!("point {i} missing {key}"));
+            points.push(BenchPoint {
+                name: field("name")?
+                    .as_str()
+                    .ok_or(format!("point {i} name not a string"))?
+                    .to_string(),
+                metric: field("metric")?
+                    .as_str()
+                    .ok_or(format!("point {i} metric not a string"))?
+                    .to_string(),
+                value: field("value")?
+                    .as_f64()
+                    .ok_or(format!("point {i} value not a number"))?,
+                lower_is_better: field("lower_is_better")?
+                    .as_bool()
+                    .ok_or(format!("point {i} lower_is_better not a bool"))?,
+            });
+        }
+        Ok(HotpathReport { points })
+    }
+}
+
+/// Compares a fresh run against the committed baseline. Returns one message
+/// per regression: a point degrading by more than [`REGRESSION_FACTOR`], or
+/// a baseline point the current run no longer measures.
+pub fn compare(baseline: &HotpathReport, current: &HotpathReport) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for base in &baseline.points {
+        let Some(cur) = current.points.iter().find(|p| p.name == base.name) else {
+            regressions.push(format!(
+                "benchmark `{}` missing from current run",
+                base.name
+            ));
+            continue;
+        };
+        if base.value <= 0.0 {
+            continue; // degenerate baseline; nothing meaningful to compare
+        }
+        let ratio = cur.value / base.value;
+        let regressed = if base.lower_is_better {
+            ratio > REGRESSION_FACTOR
+        } else {
+            ratio < 1.0 / REGRESSION_FACTOR
+        };
+        if regressed {
+            regressions.push(format!(
+                "`{}` regressed: {:.1} -> {:.1} {} ({:.2}x)",
+                base.name, base.value, cur.value, cur.metric, ratio
+            ));
+        }
+    }
+    regressions
+}
+
+// ------------------------------------------------------------------- timing
+
+/// Silent calibrated timer: median ns/op over several batches. `quick`
+/// trades precision for CI-smoke runtime.
+fn time_ns<F: FnMut()>(quick: bool, mut op: F) -> f64 {
+    let (samples, target) = if quick {
+        (7, Duration::from_micros(200))
+    } else {
+        (21, Duration::from_millis(1))
+    };
+    let mut batch: u64 = 1;
+    loop {
+        let started = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        if started.elapsed() >= target || batch >= 1 << 24 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let started = Instant::now();
+            for _ in 0..batch {
+                op();
+            }
+            started.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_op.sort_by(f64::total_cmp);
+    per_op[per_op.len() / 2]
+}
+
+fn point(name: impl Into<String>, metric: &str, value: f64, lower_is_better: bool) -> BenchPoint {
+    BenchPoint {
+        name: name.into(),
+        metric: metric.to_string(),
+        value,
+        lower_is_better,
+    }
+}
+
+// -------------------------------------------------- connection-table lookup
+
+fn tuple(i: u32) -> FourTuple {
+    FourTuple::new(
+        Endpoint::new(
+            Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+            Port::new(1_024 + (i % 60_000) as u16),
+        ),
+        Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+    )
+}
+
+fn route(i: u32) -> Route {
+    Route {
+        rpn: RpnId((i % 8) as u16),
+        rpn_mac: MacAddr::from_node_id((i % 8) as u16),
+    }
+}
+
+/// The pre-PR connection table shape: an ordered tree walk per lookup.
+/// Kept as the live "before" arm of the benchmark.
+#[derive(Default)]
+struct BTreeConnTable {
+    map: BTreeMap<FourTuple, Route>,
+}
+
+impl BTreeConnTable {
+    fn insert(&mut self, t: FourTuple, r: Route) {
+        self.map.insert(t, r);
+    }
+    fn lookup(&self, t: FourTuple) -> Option<Route> {
+        self.map.get(&t).copied()
+    }
+}
+
+fn bench_conn_lookup(quick: bool, n: u32, points: &mut Vec<BenchPoint>) {
+    let mut table = ConnTable::new();
+    let mut btree = BTreeConnTable::default();
+    for i in 0..n {
+        table.insert(tuple(i), route(i));
+        btree.insert(tuple(i), route(i));
+    }
+    // A fixed cycle of existing keys in random order: big enough to defeat
+    // a last-lookup cache, small enough to stay out of the measurement.
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys: Vec<FourTuple> = (0..1024).map(|_| tuple(rng.gen_range(0..n))).collect();
+    let label = match n {
+        1_000 => "1k",
+        10_000 => "10k",
+        _ => "100k",
+    };
+
+    let mut k = 0usize;
+    let ns = time_ns(quick, || {
+        k = (k + 1) & 1023;
+        std::hint::black_box(table.lookup(keys[k]));
+    });
+    points.push(point(format!("conn_lookup_{label}"), "ns_per_op", ns, true));
+
+    let mut k = 0usize;
+    let ns = time_ns(quick, || {
+        k = (k + 1) & 1023;
+        std::hint::black_box(btree.lookup(keys[k]));
+    });
+    points.push(point(
+        format!("conn_lookup_btree_{label}"),
+        "ns_per_op",
+        ns,
+        true,
+    ));
+}
+
+// ------------------------------------------------------- event-queue churn
+
+/// The pre-PR event queue shape: `BinaryHeap` plus a `BTreeSet` consulted
+/// on every schedule/cancel/pop. The live "before" arm.
+struct BTreeEventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+    pending: BTreeSet<u64>,
+    next_seq: u64,
+}
+
+impl BTreeEventQueue {
+    fn new() -> Self {
+        BTreeEventQueue {
+            heap: BinaryHeap::new(),
+            pending: BTreeSet::new(),
+            next_seq: 0,
+        }
+    }
+    fn schedule(&mut self, at: SimTime) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((at, seq)));
+        self.pending.insert(seq);
+        seq
+    }
+    fn cancel(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(std::cmp::Reverse((at, seq))) = self.heap.pop() {
+            if self.pending.remove(&seq) {
+                return Some((at, seq));
+            }
+        }
+        None
+    }
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Steady-state churn around `depth` live events: schedule a timer with a
+/// random offset, disarm half immediately (the ACK-cancels-retransmit
+/// pattern), pop whatever exceeds the target depth.
+fn bench_event_churn(quick: bool, depth: usize, points: &mut Vec<BenchPoint>) {
+    let mut q = EventQueue::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut t = 0u64;
+    for _ in 0..depth {
+        t += 10;
+        q.schedule(SimTime::from_nanos(t), t);
+    }
+    let ns = time_ns(quick, || {
+        t += 10;
+        let id = q.schedule(SimTime::from_nanos(t + rng.gen_range(1u64..1_000)), t);
+        if rng.gen_bool(0.5) {
+            q.cancel(id);
+        }
+        while q.len() > depth {
+            std::hint::black_box(q.pop());
+        }
+    });
+    points.push(point("event_churn_10k", "ns_per_op", ns, true));
+
+    let mut q = BTreeEventQueue::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut t = 0u64;
+    for _ in 0..depth {
+        t += 10;
+        q.schedule(SimTime::from_nanos(t));
+    }
+    let ns = time_ns(quick, || {
+        t += 10;
+        let id = q.schedule(SimTime::from_nanos(t + rng.gen_range(1u64..1_000)));
+        if rng.gen_bool(0.5) {
+            q.cancel(id);
+        }
+        while q.len() > depth {
+            std::hint::black_box(q.pop());
+        }
+    });
+    points.push(point("event_churn_btree_10k", "ns_per_op", ns, true));
+}
+
+// ------------------------------------------------------ full cluster events
+
+/// End-to-end kernel event rate of a three-site cluster run — the number
+/// every structure swap ultimately has to move.
+fn bench_cluster_sim(quick: bool, points: &mut Vec<BenchPoint>) {
+    let horizon = if quick { 3.0 } else { 30.0 };
+    let sites: Vec<SiteSpec> = [
+        ("a", 2_500.0, 2_400.0, 1u64),
+        ("b", 1_500.0, 1_400.0, 2),
+        ("c", 500.0, 2_600.0, 3),
+    ]
+    .into_iter()
+    .map(|(name, reservation, rate, salt)| {
+        let mut rng = StdRng::seed_from_u64(1_000 + salt);
+        let mut gen = SyntheticGenerator::new(2_000, 1);
+        SiteSpec {
+            host: format!("{name}.example.com"),
+            reservation: Grps(reservation),
+            trace: Trace::generate(
+                name,
+                ArrivalProcess::Poisson { rate },
+                horizon,
+                &mut gen,
+                &mut rng,
+            ),
+        }
+    })
+    .collect();
+    let params = ClusterParams {
+        rpn_count: 4,
+        service: ServiceCostModel::generic_requests(),
+        ..Default::default()
+    };
+    let mut sim = ClusterSim::new(params, sites, 42);
+    let started = Instant::now();
+    sim.run_until(SimTime::from_secs(horizon as u64));
+    let wall = started.elapsed().as_secs_f64();
+    let events = sim.events_processed() as f64;
+    points.push(point(
+        "cluster_sim",
+        "events_per_sec",
+        if wall > 0.0 { events / wall } else { 0.0 },
+        false,
+    ));
+}
+
+/// Runs the full suite. `quick` shrinks sample counts and the simulated
+/// horizon for the CI smoke job; benchmark names and shapes are identical.
+pub fn run(quick: bool) -> HotpathReport {
+    let mut points = Vec::new();
+    for n in [1_000, 10_000, 100_000] {
+        bench_conn_lookup(quick, n, &mut points);
+    }
+    bench_event_churn(quick, 10_000, &mut points);
+    bench_cluster_sim(quick, &mut points);
+    HotpathReport { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HotpathReport {
+        HotpathReport {
+            points: vec![
+                point("a", "ns_per_op", 10.0, true),
+                point("b", "events_per_sec", 1_000.0, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let parsed = HotpathReport::from_json(&r.to_json()).expect("roundtrip");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(HotpathReport::from_json("{not json").is_err());
+        assert!(HotpathReport::from_json("{\"schema\":\"other\",\"points\":[]}").is_err());
+        assert!(HotpathReport::from_json("{\"schema\":\"gage-hotpath-v1\"}").is_err());
+        assert!(HotpathReport::from_json(
+            "{\"schema\":\"gage-hotpath-v1\",\"points\":[{\"name\":\"x\"}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_true_regressions() {
+        let base = sample();
+        // Within 2x either way: fine.
+        let ok = HotpathReport {
+            points: vec![
+                point("a", "ns_per_op", 19.0, true),
+                point("b", "events_per_sec", 550.0, false),
+            ],
+        };
+        assert!(compare(&base, &ok).is_empty());
+        // Latency >2x up, throughput >2x down, and a missing point.
+        let bad = HotpathReport {
+            points: vec![point("a", "ns_per_op", 25.0, true)],
+        };
+        let msgs = compare(&base, &bad);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs[0].contains('a'));
+        assert!(msgs[1].contains("missing"));
+    }
+
+    #[test]
+    fn quick_suite_produces_all_points() {
+        let report = run(true);
+        let names: Vec<&str> = report.points.iter().map(|p| p.name.as_str()).collect();
+        for expect in [
+            "conn_lookup_1k",
+            "conn_lookup_btree_1k",
+            "conn_lookup_10k",
+            "conn_lookup_btree_10k",
+            "conn_lookup_100k",
+            "conn_lookup_btree_100k",
+            "event_churn_10k",
+            "event_churn_btree_10k",
+            "cluster_sim",
+        ] {
+            assert!(names.contains(&expect), "missing {expect} in {names:?}");
+        }
+        assert!(report.points.iter().all(|p| p.value > 0.0));
+        // Self-comparison is regression-free by construction.
+        assert!(compare(&report, &report).is_empty());
+    }
+}

@@ -13,6 +13,7 @@
 //! | Table 3 (per-connection / per-packet overheads) | — | `cargo bench` (`table3_overheads`) |
 //! | §4.2 (3.06 % QoS overhead) | [`overhead`] | `overhead_analysis` |
 //! | §4.3 (throughput scaling + RDN utilization) | [`scalability`] | `scalability` |
+//! | Hot-path perf baseline (`BENCH_hotpath.json`) | [`hotpath`] | `bench_json` |
 //!
 //! Absolute numbers come from this repository's calibrated simulator, not
 //! the authors' 2002 testbed; the *shape* of each result (who wins, by what
@@ -24,6 +25,7 @@
 
 pub mod common;
 pub mod fig3;
+pub mod hotpath;
 pub mod microbench;
 pub mod overhead;
 pub mod scalability;

@@ -3,10 +3,12 @@
 //! After a URL request is dispatched, the packet's four-tuple and the MAC
 //! address of the chosen RPN are inserted here; every subsequent packet of
 //! the connection is bridged at layer 2 straight to that RPN without
-//! re-classification.
+//! re-classification. The table sits on the per-packet fast path, so it is
+//! backed by the O(1) deterministic [`DetMap`] rather than an ordered tree.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
+use gage_collections::DetMap;
 use gage_net::addr::{FourTuple, MacAddr};
 
 use crate::node::RpnId;
@@ -21,6 +23,11 @@ pub struct Route {
 }
 
 /// The quadruple-indexed connection table.
+///
+/// A lost FIN/RST teardown would otherwise leak its entry forever, so the
+/// table can be bounded with [`ConnTable::with_max_entries`]: when full, a
+/// new connection evicts the *oldest* entry (insertion order, the best
+/// stand-in for "most likely already dead" without per-packet timestamps).
 ///
 /// ```rust
 /// use gage_core::conn_table::{ConnTable, Route};
@@ -41,28 +48,54 @@ pub struct Route {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ConnTable {
-    map: BTreeMap<FourTuple, Route>,
-    lookups: u64,
-    hits: u64,
+    map: DetMap<FourTuple, Route>,
+    /// Upper bound on live entries; `None` means unbounded.
+    max_entries: Option<usize>,
+    evictions: u64,
+    // Interior mutability keeps `lookup` a `&self` read like `contains`;
+    // the counters are observability, not table state.
+    lookups: Cell<u64>,
+    hits: Cell<u64>,
 }
 
 impl ConnTable {
-    /// Creates an empty table.
+    /// Creates an empty, unbounded table.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Files `tuple` under `route`, returning any previous route.
+    /// Creates an empty table that holds at most `max` connections,
+    /// evicting oldest-first once full. A bound of zero still admits the
+    /// newest connection (the table never rejects an insert).
+    pub fn with_max_entries(max: usize) -> Self {
+        ConnTable {
+            max_entries: Some(max),
+            ..Self::default()
+        }
+    }
+
+    /// Files `tuple` under `route`, returning any previous route. May evict
+    /// the oldest connection first when the table is at capacity.
     pub fn insert(&mut self, tuple: FourTuple, route: Route) -> Option<Route> {
+        if let Some(max) = self.max_entries {
+            if self.map.len() >= max && !self.map.contains_key(&tuple) {
+                while self.map.len() >= max {
+                    if self.map.pop_front().is_none() {
+                        break;
+                    }
+                    self.evictions += 1;
+                }
+            }
+        }
         self.map.insert(tuple, route)
     }
 
     /// Looks up the route for an incoming packet's four-tuple.
-    pub fn lookup(&mut self, tuple: FourTuple) -> Option<Route> {
-        self.lookups += 1;
+    pub fn lookup(&self, tuple: FourTuple) -> Option<Route> {
+        self.lookups.set(self.lookups.get() + 1);
         let r = self.map.get(&tuple).copied();
         if r.is_some() {
-            self.hits += 1;
+            self.hits.set(self.hits.get() + 1);
         }
         r
     }
@@ -89,7 +122,22 @@ impl ConnTable {
 
     /// Lifetime (lookups, hits) counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.lookups, self.hits)
+        (self.lookups.get(), self.hits.get())
+    }
+
+    /// Fraction of lookups that found a route (1.0 when none have run, so
+    /// an idle table never reads as misbehaving).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups.get();
+        if lookups == 0 {
+            return 1.0;
+        }
+        self.hits.get() as f64 / lookups as f64
+    }
+
+    /// Connections evicted to enforce the `max_entries` bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -153,5 +201,70 @@ mod tests {
         // `contains` does not count.
         t.contains(tuple(1));
         assert_eq!(t.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lookup_is_shared_borrow() {
+        // Counters live in Cells, so lookups work through &ConnTable.
+        let mut t = ConnTable::new();
+        t.insert(tuple(1), route(1));
+        let shared: &ConnTable = &t;
+        assert_eq!(shared.lookup(tuple(1)), Some(route(1)));
+        assert_eq!(shared.lookup(tuple(2)), None);
+        assert_eq!(shared.stats(), (2, 1));
+        assert!((shared.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_one_before_any_lookup() {
+        let t = ConnTable::new();
+        assert_eq!(t.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn bounded_table_evicts_oldest_first() {
+        let mut t = ConnTable::with_max_entries(3);
+        for i in 1..=3 {
+            t.insert(tuple(i), route(i));
+        }
+        assert_eq!(t.evictions(), 0);
+        // Fourth connection pushes out the oldest (port 1).
+        t.insert(tuple(4), route(4));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.lookup(tuple(1)), None);
+        assert_eq!(t.lookup(tuple(2)), Some(route(2)));
+    }
+
+    #[test]
+    fn evict_then_reinsert() {
+        let mut t = ConnTable::with_max_entries(2);
+        t.insert(tuple(1), route(1));
+        t.insert(tuple(2), route(2));
+        t.insert(tuple(3), route(3)); // evicts 1
+        assert_eq!(t.lookup(tuple(1)), None);
+        // The evicted tuple comes back as the *newest* entry...
+        t.insert(tuple(1), route(9)); // evicts 2
+        assert_eq!(t.lookup(tuple(1)), Some(route(9)));
+        assert_eq!(t.lookup(tuple(2)), None);
+        assert_eq!(t.lookup(tuple(3)), Some(route(3)));
+        // ...so the next eviction takes tuple 3, not the reinserted one.
+        t.insert(tuple(4), route(4));
+        assert_eq!(t.lookup(tuple(3)), None);
+        assert_eq!(t.lookup(tuple(1)), Some(route(9)));
+        assert_eq!(t.evictions(), 3);
+    }
+
+    #[test]
+    fn updating_existing_key_never_evicts() {
+        let mut t = ConnTable::with_max_entries(2);
+        t.insert(tuple(1), route(1));
+        t.insert(tuple(2), route(2));
+        // Re-routing a filed connection while full must not push anything out.
+        t.insert(tuple(1), route(7));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evictions(), 0);
+        assert_eq!(t.lookup(tuple(1)), Some(route(7)));
+        assert_eq!(t.lookup(tuple(2)), Some(route(2)));
     }
 }

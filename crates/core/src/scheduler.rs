@@ -196,12 +196,20 @@ impl<R> RequestScheduler<R> {
     /// request to its RPN and later feed completions back via
     /// [`RequestScheduler::on_report`].
     pub fn run_cycle(&mut self, elapsed_secs: f64) -> Vec<Dispatch<R>> {
+        let mut dispatches = Vec::new();
+        self.run_cycle_into(elapsed_secs, &mut dispatches);
+        dispatches
+    }
+
+    /// As [`RequestScheduler::run_cycle`], but appends the decisions to a
+    /// caller-held buffer. The 10 ms tick calls this with one long-lived
+    /// `Vec` so the steady state allocates nothing per cycle.
+    pub fn run_cycle_into(&mut self, elapsed_secs: f64, dispatches: &mut Vec<Dispatch<R>>) {
         assert!(elapsed_secs >= 0.0, "time cannot run backwards");
         self.ensure_rpn_arrays();
         let n = self.reservations.len();
-        let mut dispatches = Vec::new();
         if n == 0 {
-            return dispatches;
+            return;
         }
 
         // ---- Pass 1: reserved credit ----
@@ -245,10 +253,8 @@ impl<R> RequestScheduler<R> {
 
         // ---- Pass 2: spare capacity ----
         if self.cfg.spare_policy != SparePolicy::None {
-            self.run_spare_pass(&mut dispatches);
+            self.run_spare_pass(dispatches);
         }
-
-        dispatches
     }
 
     /// Deficit-weighted round-robin distribution of leftover node capacity
@@ -258,12 +264,13 @@ impl<R> RequestScheduler<R> {
     /// fraction of a slot is free per cycle.
     fn run_spare_pass(&mut self, dispatches: &mut Vec<Dispatch<R>>) {
         let n = self.reservations.len();
+        let mut weights = vec![0.0f64; n];
         loop {
             // Backlogged queues and their weights. Empty queues forfeit any
             // accumulated spare credit (standard DRR reset).
-            let mut weights = vec![0.0f64; n];
             let mut max_w = 0.0f64;
             for (i, w_slot) in weights.iter_mut().enumerate() {
+                *w_slot = 0.0;
                 let sub = SubscriberId(i as u32);
                 if self.queues.is_empty(sub) {
                     self.spare_deficit[i] = 0.0;

@@ -1,12 +1,19 @@
 //! Cancellable timestamped event queue.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
+
+use gage_collections::{Slab, SlabKey};
 
 use crate::time::SimTime;
 
 /// Opaque handle identifying a scheduled event, usable to cancel it before
 /// it fires (e.g. a retransmission timer disarmed by an ACK).
+///
+/// Internally this packs a generational [`SlabKey`], so cancellation is an
+/// O(1) arena probe rather than an ordered-set lookup, and a stale handle
+/// (already fired or cancelled) can never alias a newer event even when the
+/// arena reuses its slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
@@ -24,7 +31,10 @@ pub struct ScheduledEvent<E> {
 #[derive(Debug)]
 struct HeapEntry<E> {
     at: SimTime,
+    /// Monotonic schedule order, the deterministic FIFO tie-break.
     seq: u64,
+    /// Liveness handle in the arena; dead handles mark tombstones.
+    slot: SlabKey,
     event: E,
 }
 
@@ -53,6 +63,12 @@ impl<E> Ord for HeapEntry<E> {
 /// A priority queue of events ordered by firing time with deterministic
 /// FIFO tie-breaking and lazy cancellation.
 ///
+/// Cancellation removes the event's handle from a generational arena in
+/// O(1) and leaves the heap entry behind as a tombstone; `pop` and
+/// `peek_time` skip tombstones, and a compaction pass rebuilds the heap
+/// when tombstones outnumber live entries, so memory stays proportional to
+/// the live event count.
+///
 /// ```rust
 /// use gage_des::{EventQueue, SimTime};
 /// let mut q = EventQueue::new();
@@ -65,9 +81,11 @@ impl<E> Ord for HeapEntry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
-    /// Sequence numbers of events that are scheduled and not yet fired or
-    /// cancelled. Heap entries whose seq is absent here are tombstones.
-    pending: BTreeSet<u64>,
+    /// One live marker per scheduled-and-not-yet-fired event. A heap entry
+    /// whose slot no longer resolves here is a tombstone.
+    live: Slab<()>,
+    /// Tombstones currently buried in the heap.
+    tombs: usize,
     next_seq: u64,
 }
 
@@ -82,7 +100,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: BTreeSet::new(),
+            live: Slab::new(),
+            tombs: 0,
             next_seq: 0,
         }
     }
@@ -92,28 +111,39 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { at, seq, event });
-        self.pending.insert(seq);
-        EventId(seq)
+        let slot = self.live.insert(());
+        self.heap.push(HeapEntry {
+            at,
+            seq,
+            slot,
+            event,
+        });
+        EventId(slot.to_raw())
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending, `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        if self.live.remove(SlabKey::from_raw(id.0)).is_none() {
+            return false;
+        }
+        self.tombs += 1;
+        self.maybe_compact();
+        true
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
+            if self.live.remove(entry.slot).is_some() {
                 return Some(ScheduledEvent {
                     at: entry.at,
-                    id: EventId(entry.seq),
+                    id: EventId(entry.slot.to_raw()),
                     event: entry.event,
                 });
             }
+            self.tombs = self.tombs.saturating_sub(1);
         }
         None
     }
@@ -122,21 +152,36 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
             let entry = self.heap.peek()?;
-            if self.pending.contains(&entry.seq) {
+            if self.live.contains(entry.slot) {
                 return Some(entry.at);
             }
             self.heap.pop();
+            self.tombs = self.tombs.saturating_sub(1);
         }
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live.is_empty()
+    }
+
+    /// Rebuilds the heap without its tombstones once they dominate it, so a
+    /// cancel-heavy workload (timers disarmed by ACKs) cannot grow the heap
+    /// past a small multiple of the live event count. Retention preserves
+    /// `seq`, so the rebuilt heap pops in the same deterministic order.
+    fn maybe_compact(&mut self) {
+        if self.tombs <= 64 || self.tombs * 2 <= self.heap.len() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| self.live.contains(e.slot));
+        self.heap = BinaryHeap::from(entries);
+        self.tombs = 0;
     }
 }
 
@@ -199,6 +244,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_id_does_not_cancel_reused_slot() {
+        // After an event fires, its arena slot is reused by the next
+        // schedule; the old handle must not be able to kill the new event.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop().unwrap().id, a);
+        let b = q.schedule(t(2), "b");
+        assert!(!q.cancel(a), "stale handle must miss");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().id, b);
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1), "a");
@@ -223,5 +281,37 @@ mod tests {
             popped.push(e.event);
         }
         assert_eq!(popped, vec![1, 5, 7]);
+    }
+
+    #[test]
+    fn pop_after_10k_cancels_stays_correct() {
+        // Tombstone compaction: bury 10k cancelled timers around a handful
+        // of survivors and check pops still come out in time order, with
+        // the heap compacted well below the tombstone count.
+        let mut q = EventQueue::new();
+        let mut survivors = Vec::new();
+        for i in 0u64..10_500 {
+            let id = q.schedule(t(1 + (i * 7) % 10_000), i);
+            if i % 21 == 0 {
+                survivors.push(i);
+            } else {
+                assert!(q.cancel(id));
+            }
+        }
+        assert_eq!(q.len(), survivors.len());
+        assert!(
+            q.heap.len() < 2_000,
+            "compaction should have pruned tombstones, heap len {}",
+            q.heap.len()
+        );
+        let mut popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(popped.len(), survivors.len());
+        popped.sort_unstable();
+        survivors.sort_unstable();
+        assert_eq!(popped, survivors);
+        assert!(q.is_empty());
+        // The queue keeps working after the storm.
+        q.schedule(t(1), 424_242);
+        assert_eq!(q.pop().map(|e| e.event), Some(424_242));
     }
 }

@@ -1,0 +1,5 @@
+//! Fixture event module: ordered trees back on the hot path.
+
+pub struct Queue { pending: std::collections::BTreeSet<u64> }
+pub type Cancelled = std::collections::BTreeMap<u64, bool>;
+pub type Audit = std::collections::BTreeMap<u64, bool>; // lint:allow(hot-path-btree)

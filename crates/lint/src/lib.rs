@@ -15,6 +15,7 @@
 //! | `determinism-hash-order` | same | `HashMap`, `HashSet` (iteration order varies per process) |
 //! | `hot-path-panic` | gage-core::{scheduler,queue,classify,conn_table,node}, gage-net::{splice,tcp,packet} | `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!` |
 //! | `hot-path-index` | same | indexing by integer literal (`data[4]`) |
+//! | `hot-path-btree` | gage-core::conn_table, gage-des::event, gage-cluster::sim | `BTreeMap`, `BTreeSet` (O(log n) walk on per-packet state; use `gage_collections::DetMap`/`Slab`) |
 //! | `no-print` | all library code | `println!`, `eprintln!`, `dbg!` |
 //! | `crate-attrs` | every lib crate | missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
 //! | `float-eq` | gage-core | `==`/`!=` on float literals or resource/credit fields |
@@ -37,7 +38,13 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose sources must stay deterministic (they produce the paper's
 /// tables; a wall clock or unseeded RNG would un-reproduce them).
-const DETERMINISM_CRATES: &[&str] = &["gage-des", "gage-core", "gage-cluster", "gage-workload"];
+const DETERMINISM_CRATES: &[&str] = &[
+    "gage-des",
+    "gage-core",
+    "gage-cluster",
+    "gage-workload",
+    "gage-collections",
+];
 
 /// (crate, module stems) whose sources sit on the per-request path and must
 /// not panic.
@@ -47,6 +54,15 @@ const HOT_PATH_MODULES: &[(&str, &[&str])] = &[
         &["scheduler", "queue", "classify", "conn_table", "node"],
     ),
     ("gage-net", &["splice", "tcp", "packet"]),
+];
+
+/// (crate, module stems) holding per-connection/per-event tables that PR 2
+/// moved to O(1) structures; an ordered tree creeping back in would put the
+/// O(log n) walk back on every packet.
+const HOT_PATH_BTREE_MODULES: &[(&str, &[&str])] = &[
+    ("gage-core", &["conn_table"]),
+    ("gage-des", &["event"]),
+    ("gage-cluster", &["sim"]),
 ];
 
 /// Float-carrying field names whose equality comparison is almost always a
@@ -464,6 +480,23 @@ fn check_line(ctx: &FileContext<'_>, code: &str, emit: &mut dyn FnMut(&'static s
                 "indexing by literal can panic on short input; use get() or check length"
                     .to_string(),
             );
+        }
+    }
+
+    let btree_hot = HOT_PATH_BTREE_MODULES
+        .iter()
+        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
+    if btree_hot {
+        for tree in ["BTreeMap", "BTreeSet"] {
+            if has_word(code, tree) {
+                emit(
+                    "hot-path-btree",
+                    format!(
+                        "`{tree}` puts an O(log n) walk on the per-packet path; \
+                         use gage_collections::DetMap or Slab"
+                    ),
+                );
+            }
         }
     }
 

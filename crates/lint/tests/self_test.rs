@@ -46,6 +46,16 @@ fn every_rule_trips_on_the_fixture_corpus() {
     assert!(has(&f, "hot-path-index", CORE_SCHED, 6));
     assert!(has(&f, "hot-path-index", "crates/net/src/splice.rs", 4));
 
+    // hot path: ordered trees on per-connection/per-event state.
+    assert!(
+        has(&f, "hot-path-btree", "crates/des/src/event.rs", 3),
+        "BTreeSet"
+    );
+    assert!(
+        has(&f, "hot-path-btree", "crates/des/src/event.rs", 4),
+        "BTreeMap"
+    );
+
     // hygiene: prints, crate attrs, float equality, dependency versions.
     assert!(has(&f, "no-print", CORE_LIB, 24), "println!");
     assert!(has(&f, "no-print", "crates/net/src/splice.rs", 5), "dbg!");
@@ -79,13 +89,14 @@ fn allowlist_suppresses_each_rule() {
     // Each of these fixture lines repeats a violation with a trailing
     // `// lint:allow(<rule>)` and must produce nothing.
     for (file, line) in [
-        (CORE_LIB, 4),    // determinism-hash-order
-        (CORE_LIB, 8),    // determinism-clock
-        (CORE_LIB, 13),   // determinism-rng
-        (CORE_LIB, 19),   // float-eq
-        (CORE_LIB, 25),   // no-print
-        (CORE_SCHED, 7),  // hot-path-index
-        (CORE_SCHED, 18), // hot-path-panic
+        (CORE_LIB, 4),                  // determinism-hash-order
+        (CORE_LIB, 8),                  // determinism-clock
+        (CORE_LIB, 13),                 // determinism-rng
+        (CORE_LIB, 19),                 // float-eq
+        (CORE_LIB, 25),                 // no-print
+        (CORE_SCHED, 7),                // hot-path-index
+        (CORE_SCHED, 18),               // hot-path-panic
+        ("crates/des/src/event.rs", 5), // hot-path-btree
     ] {
         assert!(!any_at(&f, file, line), "{file}:{line} should be allowed");
     }
@@ -107,14 +118,14 @@ fn exemptions_do_not_leak_findings() {
     }
     // The fixture corpus is fully enumerated: any extra finding is a
     // false positive in the engine.
-    assert_eq!(f.len(), 20, "exact fixture finding count: {f:#?}");
+    assert_eq!(f.len(), 22, "exact fixture finding count: {f:#?}");
 }
 
 #[test]
 fn json_report_is_machine_readable() {
     let f = fixture_findings();
     let json = report_json(&f);
-    assert!(json.starts_with("{\"count\":20,\"findings\":["));
+    assert!(json.starts_with("{\"count\":22,\"findings\":["));
     assert!(json.contains("\"rule\":\"hot-path-panic\""));
     assert!(json.contains("\"file\":\"crates/core/src/lib.rs\""));
     let quotes = json.matches('"').count();

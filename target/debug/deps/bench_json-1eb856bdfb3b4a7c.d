@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_json-1eb856bdfb3b4a7c.d: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_json-1eb856bdfb3b4a7c.rmeta: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+crates/bench/src/bin/bench_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

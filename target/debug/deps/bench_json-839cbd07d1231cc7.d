@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-839cbd07d1231cc7.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-839cbd07d1231cc7: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

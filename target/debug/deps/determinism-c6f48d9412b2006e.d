@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-c6f48d9412b2006e.d: crates/cluster/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-c6f48d9412b2006e.rmeta: crates/cluster/tests/determinism.rs Cargo.toml
+
+crates/cluster/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

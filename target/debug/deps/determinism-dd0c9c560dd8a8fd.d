@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-dd0c9c560dd8a8fd.d: crates/cluster/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-dd0c9c560dd8a8fd: crates/cluster/tests/determinism.rs
+
+crates/cluster/tests/determinism.rs:

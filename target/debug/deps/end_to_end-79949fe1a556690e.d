@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-79949fe1a556690e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-79949fe1a556690e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

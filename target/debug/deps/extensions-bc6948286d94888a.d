@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-bc6948286d94888a.d: crates/cluster/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-bc6948286d94888a.rmeta: crates/cluster/tests/extensions.rs Cargo.toml
+
+crates/cluster/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f6266c4e3ab0f16d.d: crates/cluster/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f6266c4e3ab0f16d: crates/cluster/tests/extensions.rs
+
+crates/cluster/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_deviation-2484e4f5520156e8.d: crates/bench/src/bin/fig3_deviation.rs
+
+/root/repo/target/debug/deps/fig3_deviation-2484e4f5520156e8: crates/bench/src/bin/fig3_deviation.rs
+
+crates/bench/src/bin/fig3_deviation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_deviation-41da8d4b13a6330a.d: crates/bench/src/bin/fig3_deviation.rs
+
+/root/repo/target/debug/deps/fig3_deviation-41da8d4b13a6330a: crates/bench/src/bin/fig3_deviation.rs
+
+crates/bench/src/bin/fig3_deviation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_deviation-66621befda80c06f.d: crates/bench/src/bin/fig3_deviation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_deviation-66621befda80c06f.rmeta: crates/bench/src/bin/fig3_deviation.rs Cargo.toml
+
+crates/bench/src/bin/fig3_deviation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_deviation-74bae1253037fac4.d: crates/bench/src/bin/fig3_deviation.rs
+
+/root/repo/target/debug/deps/fig3_deviation-74bae1253037fac4: crates/bench/src/bin/fig3_deviation.rs
+
+crates/bench/src/bin/fig3_deviation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gage-894c500170d2c7ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgage-894c500170d2c7ec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgage-894c500170d2c7ec.rmeta: src/lib.rs
+
+src/lib.rs:

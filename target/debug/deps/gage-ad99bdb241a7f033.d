@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage-ad99bdb241a7f033.d: src/lib.rs
+
+/root/repo/target/debug/deps/gage-ad99bdb241a7f033: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage-ee3a5b85152743fa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage-ee3a5b85152743fa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

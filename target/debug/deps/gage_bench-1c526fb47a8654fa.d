@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gage_bench-1c526fb47a8654fa.d: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libgage_bench-1c526fb47a8654fa.rlib: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libgage_bench-1c526fb47a8654fa.rmeta: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/hotpath.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/overhead.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:

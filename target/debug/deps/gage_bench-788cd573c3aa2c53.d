@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gage_bench-788cd573c3aa2c53.d: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_bench-788cd573c3aa2c53.rmeta: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/hotpath.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/overhead.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gage_bench-e09fe50e39e11043.d: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libgage_bench-e09fe50e39e11043.rlib: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libgage_bench-e09fe50e39e11043.rmeta: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/overhead.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_client-4d31a8fa81e59716.d: crates/rt/src/bin/gage_client.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_client-4d31a8fa81e59716.rmeta: crates/rt/src/bin/gage_client.rs Cargo.toml
+
+crates/rt/src/bin/gage_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_client-74b461009b459588.d: crates/rt/src/bin/gage_client.rs
+
+/root/repo/target/debug/deps/gage_client-74b461009b459588: crates/rt/src/bin/gage_client.rs
+
+crates/rt/src/bin/gage_client.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_client-ed80d325f504eaef.d: crates/rt/src/bin/gage_client.rs
+
+/root/repo/target/debug/deps/gage_client-ed80d325f504eaef: crates/rt/src/bin/gage_client.rs
+
+crates/rt/src/bin/gage_client.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_client-f3c3a70710171728.d: crates/rt/src/bin/gage_client.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_client-f3c3a70710171728.rmeta: crates/rt/src/bin/gage_client.rs Cargo.toml
+
+crates/rt/src/bin/gage_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gage_cluster-0e307338a6e3cdeb.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_cluster-0e307338a6e3cdeb.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/process.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gage_cluster-1eda010e6bf692db.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libgage_cluster-1eda010e6bf692db.rlib: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libgage_cluster-1eda010e6bf692db.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/process.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gage_cluster-bf5dc95eec244283.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/gage_cluster-bf5dc95eec244283: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/process.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gage_collections-480ee3b27d2eb277.d: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+/root/repo/target/debug/deps/gage_collections-480ee3b27d2eb277: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/detmap.rs:
+crates/collections/src/slab.rs:

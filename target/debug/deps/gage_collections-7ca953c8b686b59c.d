@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_collections-7ca953c8b686b59c.d: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+/root/repo/target/debug/deps/libgage_collections-7ca953c8b686b59c.rlib: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+/root/repo/target/debug/deps/libgage_collections-7ca953c8b686b59c.rmeta: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/detmap.rs:
+crates/collections/src/slab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gage_collections-aeb60fa894f1d159.d: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_collections-aeb60fa894f1d159.rmeta: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs Cargo.toml
+
+crates/collections/src/lib.rs:
+crates/collections/src/detmap.rs:
+crates/collections/src/slab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gage_core-43ce17613f22fc14.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+/root/repo/target/debug/deps/gage_core-43ce17613f22fc14: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/classify.rs:
+crates/core/src/config.rs:
+crates/core/src/conn_table.rs:
+crates/core/src/estimator.rs:
+crates/core/src/node.rs:
+crates/core/src/queue.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/subscriber.rs:

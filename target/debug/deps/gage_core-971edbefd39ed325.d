@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gage_core-971edbefd39ed325.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_core-971edbefd39ed325.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/classify.rs:
+crates/core/src/config.rs:
+crates/core/src/conn_table.rs:
+crates/core/src/estimator.rs:
+crates/core/src/node.rs:
+crates/core/src/queue.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/subscriber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gage_core-98cf21a1955cf4d6.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+/root/repo/target/debug/deps/libgage_core-98cf21a1955cf4d6.rlib: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+/root/repo/target/debug/deps/libgage_core-98cf21a1955cf4d6.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/classify.rs:
+crates/core/src/config.rs:
+crates/core/src/conn_table.rs:
+crates/core/src/estimator.rs:
+crates/core/src/node.rs:
+crates/core/src/queue.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/subscriber.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gage_des-12fe09153fbb7f03.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libgage_des-12fe09153fbb7f03.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libgage_des-12fe09153fbb7f03.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/event.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gage_des-297bf5e8b0bb8c30.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_des-297bf5e8b0bb8c30.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/event.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

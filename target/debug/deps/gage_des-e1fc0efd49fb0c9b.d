@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gage_des-e1fc0efd49fb0c9b.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/gage_des-e1fc0efd49fb0c9b: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/event.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_rdn-5e9e2f1ab95d0515.d: crates/rt/src/bin/gage_rdn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_rdn-5e9e2f1ab95d0515.rmeta: crates/rt/src/bin/gage_rdn.rs Cargo.toml
+
+crates/rt/src/bin/gage_rdn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

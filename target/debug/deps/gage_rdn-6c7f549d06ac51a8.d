@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rdn-6c7f549d06ac51a8.d: crates/rt/src/bin/gage_rdn.rs
+
+/root/repo/target/debug/deps/gage_rdn-6c7f549d06ac51a8: crates/rt/src/bin/gage_rdn.rs
+
+crates/rt/src/bin/gage_rdn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rdn-72af3d6a9c653756.d: crates/rt/src/bin/gage_rdn.rs
+
+/root/repo/target/debug/deps/gage_rdn-72af3d6a9c653756: crates/rt/src/bin/gage_rdn.rs
+
+crates/rt/src/bin/gage_rdn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rpn-04a7588f21058a2b.d: crates/rt/src/bin/gage_rpn.rs
+
+/root/repo/target/debug/deps/gage_rpn-04a7588f21058a2b: crates/rt/src/bin/gage_rpn.rs
+
+crates/rt/src/bin/gage_rpn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gage_rpn-164634267dfc29a3.d: crates/rt/src/bin/gage_rpn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_rpn-164634267dfc29a3.rmeta: crates/rt/src/bin/gage_rpn.rs Cargo.toml
+
+crates/rt/src/bin/gage_rpn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

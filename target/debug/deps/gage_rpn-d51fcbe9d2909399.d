@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gage_rpn-d51fcbe9d2909399.d: crates/rt/src/bin/gage_rpn.rs
+
+/root/repo/target/debug/deps/gage_rpn-d51fcbe9d2909399: crates/rt/src/bin/gage_rpn.rs
+
+crates/rt/src/bin/gage_rpn.rs:

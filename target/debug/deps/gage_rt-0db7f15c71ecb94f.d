@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gage_rt-0db7f15c71ecb94f.d: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+/root/repo/target/debug/deps/gage_rt-0db7f15c71ecb94f: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/backend.rs:
+crates/rt/src/client.rs:
+crates/rt/src/frontend.rs:
+crates/rt/src/harness.rs:
+crates/rt/src/http.rs:
+crates/rt/src/proto.rs:
+crates/rt/src/relay.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gage_rt-33128cd3450a1a1d.d: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+/root/repo/target/debug/deps/libgage_rt-33128cd3450a1a1d.rlib: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+/root/repo/target/debug/deps/libgage_rt-33128cd3450a1a1d.rmeta: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/backend.rs:
+crates/rt/src/client.rs:
+crates/rt/src/frontend.rs:
+crates/rt/src/harness.rs:
+crates/rt/src/http.rs:
+crates/rt/src/proto.rs:
+crates/rt/src/relay.rs:

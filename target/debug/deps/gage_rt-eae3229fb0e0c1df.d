@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gage_rt-eae3229fb0e0c1df.d: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgage_rt-eae3229fb0e0c1df.rmeta: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/backend.rs:
+crates/rt/src/client.rs:
+crates/rt/src/frontend.rs:
+crates/rt/src/harness.rs:
+crates/rt/src/http.rs:
+crates/rt/src/proto.rs:
+crates/rt/src/relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

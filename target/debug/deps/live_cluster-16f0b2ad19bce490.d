@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_cluster-16f0b2ad19bce490.d: crates/rt/tests/live_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_cluster-16f0b2ad19bce490.rmeta: crates/rt/tests/live_cluster.rs Cargo.toml
+
+crates/rt/tests/live_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

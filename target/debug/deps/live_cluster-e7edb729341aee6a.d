@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_cluster-e7edb729341aee6a.d: crates/rt/tests/live_cluster.rs
+
+/root/repo/target/debug/deps/live_cluster-e7edb729341aee6a: crates/rt/tests/live_cluster.rs
+
+crates/rt/tests/live_cluster.rs:

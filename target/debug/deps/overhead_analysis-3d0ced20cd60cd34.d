@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_analysis-3d0ced20cd60cd34.d: crates/bench/src/bin/overhead_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_analysis-3d0ced20cd60cd34.rmeta: crates/bench/src/bin/overhead_analysis.rs Cargo.toml
+
+crates/bench/src/bin/overhead_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

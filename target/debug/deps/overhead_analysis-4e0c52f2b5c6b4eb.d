@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_analysis-4e0c52f2b5c6b4eb.d: crates/bench/src/bin/overhead_analysis.rs
+
+/root/repo/target/debug/deps/overhead_analysis-4e0c52f2b5c6b4eb: crates/bench/src/bin/overhead_analysis.rs
+
+crates/bench/src/bin/overhead_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_analysis-7fd17500db2b1382.d: crates/bench/src/bin/overhead_analysis.rs
+
+/root/repo/target/debug/deps/overhead_analysis-7fd17500db2b1382: crates/bench/src/bin/overhead_analysis.rs
+
+crates/bench/src/bin/overhead_analysis.rs:

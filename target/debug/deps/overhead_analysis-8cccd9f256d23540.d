@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_analysis-8cccd9f256d23540.d: crates/bench/src/bin/overhead_analysis.rs
+
+/root/repo/target/debug/deps/overhead_analysis-8cccd9f256d23540: crates/bench/src/bin/overhead_analysis.rs
+
+crates/bench/src/bin/overhead_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_analysis-ef0243b6a815a4cc.d: crates/bench/src/bin/overhead_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_analysis-ef0243b6a815a4cc.rmeta: crates/bench/src/bin/overhead_analysis.rs Cargo.toml
+
+crates/bench/src/bin/overhead_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_detmap-2b5acf7d9b95d683.d: crates/collections/tests/prop_detmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_detmap-2b5acf7d9b95d683.rmeta: crates/collections/tests/prop_detmap.rs Cargo.toml
+
+crates/collections/tests/prop_detmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_detmap-8b4e3b9281baeea6.d: crates/collections/tests/prop_detmap.rs
+
+/root/repo/target/debug/deps/prop_detmap-8b4e3b9281baeea6: crates/collections/tests/prop_detmap.rs
+
+crates/collections/tests/prop_detmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_event_queue-7cd1825857ca128d.d: crates/des/tests/prop_event_queue.rs
+
+/root/repo/target/debug/deps/prop_event_queue-7cd1825857ca128d: crates/des/tests/prop_event_queue.rs
+
+crates/des/tests/prop_event_queue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_event_queue-d2bbefee691b9175.d: crates/des/tests/prop_event_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_event_queue-d2bbefee691b9175.rmeta: crates/des/tests/prop_event_queue.rs Cargo.toml
+
+crates/des/tests/prop_event_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

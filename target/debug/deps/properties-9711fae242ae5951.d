@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9711fae242ae5951.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9711fae242ae5951: tests/properties.rs
+
+tests/properties.rs:

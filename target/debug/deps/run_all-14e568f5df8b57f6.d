@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-14e568f5df8b57f6.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-14e568f5df8b57f6: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-6acf6bf8a0b267ad.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-6acf6bf8a0b267ad: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

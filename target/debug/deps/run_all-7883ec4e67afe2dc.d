@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-7883ec4e67afe2dc.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-7883ec4e67afe2dc: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

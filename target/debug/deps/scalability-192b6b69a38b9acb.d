@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-192b6b69a38b9acb.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-192b6b69a38b9acb: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-61a9ad00314db74e.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-61a9ad00314db74e: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-d26b1357d44a46f6.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-d26b1357d44a46f6: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

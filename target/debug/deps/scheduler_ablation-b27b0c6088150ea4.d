@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_ablation-b27b0c6088150ea4.d: crates/bench/benches/scheduler_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_ablation-b27b0c6088150ea4.rmeta: crates/bench/benches/scheduler_ablation.rs Cargo.toml
+
+crates/bench/benches/scheduler_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

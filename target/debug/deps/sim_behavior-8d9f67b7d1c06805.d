@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_behavior-8d9f67b7d1c06805.d: crates/cluster/tests/sim_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_behavior-8d9f67b7d1c06805.rmeta: crates/cluster/tests/sim_behavior.rs Cargo.toml
+
+crates/cluster/tests/sim_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-de9eaa759a8fdc7b.d: crates/cluster/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-de9eaa759a8fdc7b: crates/cluster/tests/sim_behavior.rs
+
+crates/cluster/tests/sim_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/splice_pipeline-333c228dbcdc0c99.d: tests/splice_pipeline.rs
+
+/root/repo/target/debug/deps/splice_pipeline-333c228dbcdc0c99: tests/splice_pipeline.rs
+
+tests/splice_pipeline.rs:

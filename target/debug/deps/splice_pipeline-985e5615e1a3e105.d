@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/splice_pipeline-985e5615e1a3e105.d: tests/splice_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplice_pipeline-985e5615e1a3e105.rmeta: tests/splice_pipeline.rs Cargo.toml
+
+tests/splice_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_isolation-2b3c15fdd96702d5.d: crates/bench/src/bin/table1_isolation.rs
+
+/root/repo/target/debug/deps/table1_isolation-2b3c15fdd96702d5: crates/bench/src/bin/table1_isolation.rs
+
+crates/bench/src/bin/table1_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_isolation-98dc237121b8af07.d: crates/bench/src/bin/table1_isolation.rs
+
+/root/repo/target/debug/deps/table1_isolation-98dc237121b8af07: crates/bench/src/bin/table1_isolation.rs
+
+crates/bench/src/bin/table1_isolation.rs:

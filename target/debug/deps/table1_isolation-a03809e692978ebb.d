@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_isolation-a03809e692978ebb.d: crates/bench/src/bin/table1_isolation.rs
+
+/root/repo/target/debug/deps/table1_isolation-a03809e692978ebb: crates/bench/src/bin/table1_isolation.rs
+
+crates/bench/src/bin/table1_isolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_isolation-f267bd765629a856.d: crates/bench/src/bin/table1_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_isolation-f267bd765629a856.rmeta: crates/bench/src/bin/table1_isolation.rs Cargo.toml
+
+crates/bench/src/bin/table1_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_spare-0f11d0f856476f86.d: crates/bench/src/bin/table2_spare.rs
+
+/root/repo/target/debug/deps/table2_spare-0f11d0f856476f86: crates/bench/src/bin/table2_spare.rs
+
+crates/bench/src/bin/table2_spare.rs:

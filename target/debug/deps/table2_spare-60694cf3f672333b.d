@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_spare-60694cf3f672333b.d: crates/bench/src/bin/table2_spare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_spare-60694cf3f672333b.rmeta: crates/bench/src/bin/table2_spare.rs Cargo.toml
+
+crates/bench/src/bin/table2_spare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_spare-9ef7864ee194679e.d: crates/bench/src/bin/table2_spare.rs
+
+/root/repo/target/debug/deps/table2_spare-9ef7864ee194679e: crates/bench/src/bin/table2_spare.rs
+
+crates/bench/src/bin/table2_spare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_spare-eb331ed351614e6d.d: crates/bench/src/bin/table2_spare.rs
+
+/root/repo/target/debug/deps/table2_spare-eb331ed351614e6d: crates/bench/src/bin/table2_spare.rs
+
+crates/bench/src/bin/table2_spare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_overheads-a70e3d75c272d3da.d: crates/bench/benches/table3_overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_overheads-a70e3d75c272d3da.rmeta: crates/bench/benches/table3_overheads.rs Cargo.toml
+
+crates/bench/benches/table3_overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ecommerce_isolation-55a10d2c193cf66b.d: examples/ecommerce_isolation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libecommerce_isolation-55a10d2c193cf66b.rmeta: examples/ecommerce_isolation.rs Cargo.toml
+
+examples/ecommerce_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecommerce_isolation-686187da4b2c35f5.d: examples/ecommerce_isolation.rs
+
+/root/repo/target/debug/examples/ecommerce_isolation-686187da4b2c35f5: examples/ecommerce_isolation.rs
+
+examples/ecommerce_isolation.rs:

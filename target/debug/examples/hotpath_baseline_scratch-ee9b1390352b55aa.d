@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotpath_baseline_scratch-ee9b1390352b55aa.d: examples/hotpath_baseline_scratch.rs
+
+/root/repo/target/debug/examples/hotpath_baseline_scratch-ee9b1390352b55aa: examples/hotpath_baseline_scratch.rs
+
+examples/hotpath_baseline_scratch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_proxy-7a46fd2098ab0c51.d: examples/live_proxy.rs
+
+/root/repo/target/debug/examples/live_proxy-7a46fd2098ab0c51: examples/live_proxy.rs
+
+examples/live_proxy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_proxy-b7481536c20b52b8.d: examples/live_proxy.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_proxy-b7481536c20b52b8.rmeta: examples/live_proxy.rs Cargo.toml
+
+examples/live_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-04cd65da64dc5027.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-04cd65da64dc5027: examples/quickstart.rs
+
+examples/quickstart.rs:

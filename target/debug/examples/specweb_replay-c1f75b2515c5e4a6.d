@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/specweb_replay-c1f75b2515c5e4a6.d: examples/specweb_replay.rs
+
+/root/repo/target/debug/examples/specweb_replay-c1f75b2515c5e4a6: examples/specweb_replay.rs
+
+examples/specweb_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/specweb_replay-fd5cd12fffe561fc.d: examples/specweb_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspecweb_replay-fd5cd12fffe561fc.rmeta: examples/specweb_replay.rs Cargo.toml
+
+examples/specweb_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

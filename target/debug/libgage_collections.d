@@ -1,0 +1,1 @@
+/root/repo/target/debug/libgage_collections.rlib: /root/repo/crates/collections/src/detmap.rs /root/repo/crates/collections/src/lib.rs /root/repo/crates/collections/src/slab.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-2d0f9f61b4ea8914.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-2d0f9f61b4ea8914: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

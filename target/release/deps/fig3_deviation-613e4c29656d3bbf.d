@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_deviation-613e4c29656d3bbf.d: crates/bench/src/bin/fig3_deviation.rs
+
+/root/repo/target/release/deps/fig3_deviation-613e4c29656d3bbf: crates/bench/src/bin/fig3_deviation.rs
+
+crates/bench/src/bin/fig3_deviation.rs:

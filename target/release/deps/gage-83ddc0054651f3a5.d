@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gage-83ddc0054651f3a5.d: src/lib.rs
+
+/root/repo/target/release/deps/libgage-83ddc0054651f3a5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgage-83ddc0054651f3a5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gage_bench-c4b511fd194ff1d9.d: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/libgage_bench-c4b511fd194ff1d9.rlib: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/libgage_bench-c4b511fd194ff1d9.rmeta: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/fig3.rs crates/bench/src/hotpath.rs crates/bench/src/microbench.rs crates/bench/src/overhead.rs crates/bench/src/scalability.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/hotpath.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/overhead.rs:
+crates/bench/src/scalability.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:

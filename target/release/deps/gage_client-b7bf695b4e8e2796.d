@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_client-b7bf695b4e8e2796.d: crates/rt/src/bin/gage_client.rs
+
+/root/repo/target/release/deps/gage_client-b7bf695b4e8e2796: crates/rt/src/bin/gage_client.rs
+
+crates/rt/src/bin/gage_client.rs:

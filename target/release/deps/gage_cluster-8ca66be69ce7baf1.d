@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gage_cluster-8ca66be69ce7baf1.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libgage_cluster-8ca66be69ce7baf1.rlib: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libgage_cluster-8ca66be69ce7baf1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/metrics.rs crates/cluster/src/params.rs crates/cluster/src/process.rs crates/cluster/src/server.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/params.rs:
+crates/cluster/src/process.rs:
+crates/cluster/src/server.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gage_collections-6f7b590bbc8c3aef.d: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+/root/repo/target/release/deps/libgage_collections-6f7b590bbc8c3aef.rlib: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+/root/repo/target/release/deps/libgage_collections-6f7b590bbc8c3aef.rmeta: crates/collections/src/lib.rs crates/collections/src/detmap.rs crates/collections/src/slab.rs
+
+crates/collections/src/lib.rs:
+crates/collections/src/detmap.rs:
+crates/collections/src/slab.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gage_core-e45970fd82146cd4.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+/root/repo/target/release/deps/libgage_core-e45970fd82146cd4.rlib: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+/root/repo/target/release/deps/libgage_core-e45970fd82146cd4.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/conn_table.rs crates/core/src/estimator.rs crates/core/src/node.rs crates/core/src/queue.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/subscriber.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/classify.rs:
+crates/core/src/config.rs:
+crates/core/src/conn_table.rs:
+crates/core/src/estimator.rs:
+crates/core/src/node.rs:
+crates/core/src/queue.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/subscriber.rs:

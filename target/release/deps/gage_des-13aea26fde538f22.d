@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gage_des-13aea26fde538f22.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libgage_des-13aea26fde538f22.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libgage_des-13aea26fde538f22.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/event.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/event.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

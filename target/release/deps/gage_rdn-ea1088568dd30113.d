@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_rdn-ea1088568dd30113.d: crates/rt/src/bin/gage_rdn.rs
+
+/root/repo/target/release/deps/gage_rdn-ea1088568dd30113: crates/rt/src/bin/gage_rdn.rs
+
+crates/rt/src/bin/gage_rdn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gage_rpn-70f95dd77613db44.d: crates/rt/src/bin/gage_rpn.rs
+
+/root/repo/target/release/deps/gage_rpn-70f95dd77613db44: crates/rt/src/bin/gage_rpn.rs
+
+crates/rt/src/bin/gage_rpn.rs:

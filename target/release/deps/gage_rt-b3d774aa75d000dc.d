@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gage_rt-b3d774aa75d000dc.d: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+/root/repo/target/release/deps/libgage_rt-b3d774aa75d000dc.rlib: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+/root/repo/target/release/deps/libgage_rt-b3d774aa75d000dc.rmeta: crates/rt/src/lib.rs crates/rt/src/backend.rs crates/rt/src/client.rs crates/rt/src/frontend.rs crates/rt/src/harness.rs crates/rt/src/http.rs crates/rt/src/proto.rs crates/rt/src/relay.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/backend.rs:
+crates/rt/src/client.rs:
+crates/rt/src/frontend.rs:
+crates/rt/src/harness.rs:
+crates/rt/src/http.rs:
+crates/rt/src/proto.rs:
+crates/rt/src/relay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead_analysis-f9f0669da5b01938.d: crates/bench/src/bin/overhead_analysis.rs
+
+/root/repo/target/release/deps/overhead_analysis-f9f0669da5b01938: crates/bench/src/bin/overhead_analysis.rs
+
+crates/bench/src/bin/overhead_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-4ee4929863ddac34.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-4ee4929863ddac34: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-1c740fea9d159065.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-1c740fea9d159065: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_isolation-c801f46ef773db0d.d: crates/bench/src/bin/table1_isolation.rs
+
+/root/repo/target/release/deps/table1_isolation-c801f46ef773db0d: crates/bench/src/bin/table1_isolation.rs
+
+crates/bench/src/bin/table1_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_spare-fe71c5744ecdacf2.d: crates/bench/src/bin/table2_spare.rs
+
+/root/repo/target/release/deps/table2_spare-fe71c5744ecdacf2: crates/bench/src/bin/table2_spare.rs
+
+crates/bench/src/bin/table2_spare.rs:

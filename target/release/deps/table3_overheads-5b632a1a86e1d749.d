@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_overheads-5b632a1a86e1d749.d: crates/bench/benches/table3_overheads.rs
+
+/root/repo/target/release/deps/table3_overheads-5b632a1a86e1d749: crates/bench/benches/table3_overheads.rs
+
+crates/bench/benches/table3_overheads.rs:

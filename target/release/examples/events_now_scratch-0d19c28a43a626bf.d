@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/events_now_scratch-0d19c28a43a626bf.d: examples/events_now_scratch.rs
+
+/root/repo/target/release/examples/events_now_scratch-0d19c28a43a626bf: examples/events_now_scratch.rs
+
+examples/events_now_scratch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hotpath_baseline_scratch-7eb36b14a0657d02.d: examples/hotpath_baseline_scratch.rs
+
+/root/repo/target/release/examples/hotpath_baseline_scratch-7eb36b14a0657d02: examples/hotpath_baseline_scratch.rs
+
+examples/hotpath_baseline_scratch.rs:

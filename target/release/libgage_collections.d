@@ -1,0 +1,1 @@
+/root/repo/target/release/libgage_collections.rlib: /root/repo/crates/collections/src/detmap.rs /root/repo/crates/collections/src/lib.rs /root/repo/crates/collections/src/slab.rs
