@@ -40,6 +40,26 @@ fn main() -> ExitCode {
         println!("{:<26} {:>14.1} {}", p.name, p.value, p.metric);
     }
 
+    // Tracing overhead budget: the traced cluster run must stay within 5% of
+    // the untraced one (absolute gate; `compare` deliberately skips this
+    // metric because near-zero percentages make ratio tests meaningless).
+    // The quick run is too short and noisy to gate on, so it only reports.
+    const TRACE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
+    if let Some(p) = report.points.iter().find(|p| p.metric == "overhead_pct") {
+        if !quick && p.value > TRACE_OVERHEAD_BUDGET_PCT {
+            eprintln!(
+                "REGRESSION: tracing overhead {:.2}% exceeds the {TRACE_OVERHEAD_BUDGET_PCT}% budget",
+                p.value
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "tracing overhead {:.2}% (budget {TRACE_OVERHEAD_BUDGET_PCT}%{})",
+            p.value,
+            if quick { ", not gated in --quick" } else { "" }
+        );
+    }
+
     if let Some(path) = out {
         if let Err(e) = std::fs::write(&path, report.to_json() + "\n") {
             eprintln!("failed to write {path}: {e}");

@@ -40,6 +40,7 @@ use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
 use gage_net::packet::Packet;
 use gage_net::splice::SpliceMap;
 use gage_net::SeqNum;
+use gage_obs::{Registry, TraceEvent, Tracer};
 use gage_workload::Trace;
 
 use crate::cache::LruCache;
@@ -121,7 +122,6 @@ pub enum Ev {
 struct ActiveReq {
     sub: SubscriberId,
     predicted: ResourceVector,
-    #[allow(dead_code)] // exercised by tests; kept for observability
     splice: SpliceMap,
     size: u64,
     disk_us: f64,
@@ -205,6 +205,9 @@ pub struct World {
     /// Reused scratch buffer for the 10 ms scheduler tick, so the steady
     /// state allocates no dispatch `Vec` per cycle.
     dispatch_buf: Vec<gage_core::scheduler::Dispatch<PendingRequest>>,
+    /// Structured trace sink shared with the scheduler and splice layer;
+    /// disabled unless [`ClusterSim::enable_tracing`] is called.
+    tracer: Tracer,
 }
 
 impl World {
@@ -479,6 +482,20 @@ impl World {
             }
         }
         self.scheduler.on_report(&report);
+        if self.tracer.is_enabled() {
+            let completed: u32 = report.per_subscriber.iter().map(|l| l.completed).sum();
+            self.tracer.emit(TraceEvent::AcctReport {
+                rpn: report.rpn.0,
+                subscribers: report.per_subscriber.len() as u32,
+                completed,
+            });
+            // Load as reconciled by the report: the node's outstanding
+            // predicted work relative to its dispatch window.
+            self.tracer.emit(TraceEvent::NodeLoad {
+                rpn: report.rpn.0,
+                load: self.scheduler.nodes().load_fraction(report.rpn),
+            });
+        }
     }
 
     // ---- RPN ----
@@ -519,12 +536,13 @@ impl World {
 
         let rpn = &mut self.rpns[rpn_idx as usize];
         rpn.isn_counter = rpn.isn_counter.wrapping_add(104_729);
-        let splice = SpliceMap::new(
+        let splice = SpliceMap::new_traced(
             pkt.src(),
             self.cluster_ep,
             rpn.ip,
             meta.rdn_isn,
             SeqNum::new(rpn.isn_counter),
+            &self.tracer,
         );
         let disk_us = match self.params.service.disk {
             DiskPolicy::None => 0.0,
@@ -639,6 +657,7 @@ impl World {
             (conn, req)
         };
         let sub = req.sub;
+        req.splice.trace_teardown(&self.tracer);
         let actual = ResourceVector::new(req.cpu_us, req.disk_us, req.net_bytes);
 
         // Charge the owning process (the worker, or the CGI child for
@@ -794,6 +813,9 @@ impl Model for World {
     type Event = Ev;
 
     fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        // Keep the trace clock on virtual time: every record emitted while
+        // handling this event is stamped with the event's instant.
+        self.tracer.set_now(ctx.now());
         match event {
             Ev::Issue { sub, idx } => self.on_issue(ctx, sub, idx),
             Ev::RdnPacket { pkt } => self.on_rdn_packet(ctx, pkt),
@@ -916,6 +938,7 @@ impl ClusterSim {
             dead_rpns: vec![false; params.rpn_count],
             lost_reports: 0,
             dispatch_buf: Vec::new(),
+            tracer: Tracer::disabled(),
             client_url: DetMap::new(),
             traces: sites.iter().map(|s| s.trace.clone()).collect(),
             registry,
@@ -958,6 +981,56 @@ impl ClusterSim {
     /// Runs the simulation until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.sim.run_until(deadline);
+    }
+
+    /// Attaches a trace ring of `capacity` records. The scheduler, the
+    /// splice layer and the cluster world all emit into the shared ring
+    /// from this point on; call before [`ClusterSim::run_until`] for a
+    /// complete trace. Same-seed runs produce byte-identical dumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let tracer = Tracer::enabled(capacity);
+        let world = self.sim.model_mut();
+        world.scheduler.set_tracer(tracer.clone());
+        world.tracer = tracer;
+    }
+
+    /// Serializes the trace ring (see [`gage_obs::TraceRing::dump`]);
+    /// `None` unless [`ClusterSim::enable_tracing`] was called.
+    pub fn trace_dump(&self) -> Option<String> {
+        self.world().tracer.dump()
+    }
+
+    /// Builds a live metrics snapshot of the whole cluster: connection
+    /// table, RDN, scheduler counters per subscriber, and per-RPN state.
+    pub fn registry(&self) -> Registry {
+        let w = self.world();
+        let mut reg = Registry::new();
+        w.conn_table.export_metrics(&mut reg);
+        reg.set_counter("rdn.packets", w.rdn_metrics.packet_count);
+        reg.set_counter("rdn.unknown_host_drops", w.unknown_host_drops);
+        reg.set_counter("sched.reserved_dispatches", w.reserved_dispatches);
+        reg.set_counter("sched.spare_dispatches", w.spare_dispatches);
+        reg.set_counter("reports.lost", w.lost_reports);
+        for i in 0..w.registry.len() {
+            let sub = SubscriberId(i as u32);
+            let c = w.scheduler.counters(sub);
+            reg.set_counter(&format!("sub{i}.accepted"), c.accepted);
+            reg.set_counter(&format!("sub{i}.dropped"), c.dropped);
+            reg.set_counter(&format!("sub{i}.dispatched"), c.dispatched);
+            reg.set_counter(&format!("sub{i}.completed"), c.completed);
+        }
+        for (r, rpn) in w.rpns.iter().enumerate() {
+            reg.set_counter(&format!("rpn{r}.completed"), rpn.completed_requests);
+            reg.observe(
+                "rpn.load_pct",
+                w.scheduler.nodes().load_fraction(RpnId(r as u16)) * 100.0,
+            );
+        }
+        reg
     }
 
     /// Schedules a fail-stop crash of `rpn` at the given instant (failure
@@ -1059,10 +1132,14 @@ impl ClusterSim {
             0.0
         };
         let _ = elapsed;
+        let (conn_lookups, _) = w.conn_table.stats();
         ClusterReport {
             subscribers: rows,
             total_served,
             rdn_utilization,
+            conn_lookups,
+            conn_hit_rate: w.conn_table.hit_rate(),
+            conn_evictions: w.conn_table.evictions(),
             window: (from, to),
         }
     }

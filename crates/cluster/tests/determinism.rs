@@ -28,16 +28,20 @@ fn sites(horizon: f64, seed: u64) -> Vec<SiteSpec> {
     .map(|(name, reservation, rate, salt)| {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(1_000) + salt);
         let mut gen = SyntheticGenerator::new(2_000, 1);
+        // Trace host must match the registered host or every request is
+        // dropped at classification and the digest only covers the drop path.
+        let host = format!("{name}.example.com");
+        let trace = Trace::generate(
+            &host,
+            ArrivalProcess::Poisson { rate },
+            horizon,
+            &mut gen,
+            &mut rng,
+        );
         SiteSpec {
-            host: format!("{name}.example.com"),
+            host,
             reservation: Grps(reservation),
-            trace: Trace::generate(
-                name,
-                ArrivalProcess::Poisson { rate },
-                horizon,
-                &mut gen,
-                &mut rng,
-            ),
+            trace,
         }
     })
     .collect()

@@ -139,6 +139,17 @@ impl ConnTable {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Publishes the table's observability counters into a metrics
+    /// registry under the `conn.` prefix.
+    pub fn export_metrics(&self, reg: &mut gage_obs::Registry) {
+        let (lookups, hits) = self.stats();
+        reg.set_counter("conn.entries", self.len() as u64);
+        reg.set_counter("conn.lookups", lookups);
+        reg.set_counter("conn.hits", hits);
+        reg.set_counter("conn.evictions", self.evictions());
+        reg.set_gauge("conn.hit_rate", self.hit_rate());
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +264,22 @@ mod tests {
         assert_eq!(t.lookup(tuple(3)), None);
         assert_eq!(t.lookup(tuple(1)), Some(route(9)));
         assert_eq!(t.evictions(), 3);
+    }
+
+    #[test]
+    fn export_metrics_publishes_counters() {
+        let mut t = ConnTable::with_max_entries(1);
+        t.insert(tuple(1), route(1));
+        t.insert(tuple(2), route(2)); // evicts tuple 1
+        t.lookup(tuple(2)); // hit
+        t.lookup(tuple(1)); // miss
+        let mut reg = gage_obs::Registry::new();
+        t.export_metrics(&mut reg);
+        assert_eq!(reg.counter("conn.entries"), Some(1));
+        assert_eq!(reg.counter("conn.lookups"), Some(2));
+        assert_eq!(reg.counter("conn.hits"), Some(1));
+        assert_eq!(reg.counter("conn.evictions"), Some(1));
+        assert_eq!(reg.gauge("conn.hit_rate"), Some(0.5));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::node::{NodeScheduler, RpnId};
 use crate::queue::SubscriberQueues;
 use crate::resource::{Grps, ResourceVector};
 use crate::subscriber::{SubscriberId, SubscriberRegistry};
+use gage_obs::{TraceEvent, Tracer};
 
 /// One dispatch decision: which request goes to which RPN, with the
 /// prediction the accounting books were charged with.
@@ -90,6 +91,10 @@ pub struct RequestScheduler<R> {
     /// round-robin deficit counters).
     spare_deficit: Vec<f64>,
     completed: Vec<u64>,
+    /// Structured trace sink; disabled by default (one branch per emit).
+    tracer: Tracer,
+    /// Cycles run since construction, for `SchedCycle` records.
+    cycles: u64,
 }
 
 impl<R> RequestScheduler<R> {
@@ -120,7 +125,16 @@ impl<R> RequestScheduler<R> {
             rr_cursor: 0,
             spare_deficit: vec![0.0; n],
             completed: vec![0; n],
+            tracer: Tracer::disabled(),
+            cycles: 0,
         }
+    }
+
+    /// Installs the trace sink the scheduler emits structured records into
+    /// (`Enqueue`/`Drop`/`Dispatch`/`SchedCycle`). Pass a clone of the
+    /// caller's [`Tracer`]; records land in the shared ring.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The node scheduler (e.g. to register RPNs).
@@ -150,7 +164,19 @@ impl<R> RequestScheduler<R> {
     /// Returns the request back if `sub`'s queue is full — the caller owns
     /// the drop (sending a RST, counting it, …).
     pub fn enqueue(&mut self, sub: SubscriberId, request: R) -> Result<(), R> {
-        self.queues.enqueue(sub, request).map(|_| ())
+        match self.queues.enqueue(sub, request) {
+            Ok(_) => {
+                self.tracer.emit(TraceEvent::Enqueue {
+                    sub: sub.0,
+                    backlog: self.queues.len(sub) as u32,
+                });
+                Ok(())
+            }
+            Err(request) => {
+                self.tracer.emit(TraceEvent::Drop { sub: sub.0 });
+                Err(request)
+            }
+        }
     }
 
     /// Current backlog of `sub`'s queue.
@@ -211,6 +237,7 @@ impl<R> RequestScheduler<R> {
         if n == 0 {
             return;
         }
+        let start_len = dispatches.len();
 
         // ---- Pass 1: reserved credit ----
         for step in 0..n {
@@ -240,6 +267,13 @@ impl<R> RequestScheduler<R> {
                 };
                 self.accounts[i].book_dispatch(rpn, predicted);
                 self.nodes.commit_dispatch(rpn, predicted);
+                self.tracer.emit(TraceEvent::Dispatch {
+                    sub: sub.0,
+                    rpn: rpn.0,
+                    spare: false,
+                    predicted_cpu_us: predicted.cpu_us,
+                    balance_cpu_us: self.accounts[i].balance.cpu_us,
+                });
                 dispatches.push(Dispatch {
                     subscriber: sub,
                     rpn,
@@ -255,6 +289,23 @@ impl<R> RequestScheduler<R> {
         if self.cfg.spare_policy != SparePolicy::None {
             self.run_spare_pass(dispatches);
         }
+
+        // One summary record per cycle; the per-queue backlog scan only
+        // happens when a ring is actually attached.
+        if self.tracer.is_enabled() {
+            let new = &dispatches[start_len..];
+            let spare = new.iter().filter(|d| d.funded_by_spare).count() as u32;
+            let backlog: usize = (0..n)
+                .map(|i| self.queues.len(SubscriberId(i as u32)))
+                .sum();
+            self.tracer.emit(TraceEvent::SchedCycle {
+                cycle: self.cycles,
+                dispatched: new.len() as u32,
+                spare,
+                backlog: backlog as u32,
+            });
+        }
+        self.cycles += 1;
     }
 
     /// Deficit-weighted round-robin distribution of leftover node capacity
@@ -321,6 +372,13 @@ impl<R> RequestScheduler<R> {
                 self.nodes.commit_dispatch(rpn, predicted);
                 self.spare_deficit[i] -= 1.0;
                 any = true;
+                self.tracer.emit(TraceEvent::Dispatch {
+                    sub: sub.0,
+                    rpn: rpn.0,
+                    spare: true,
+                    predicted_cpu_us: predicted.cpu_us,
+                    balance_cpu_us: self.accounts[i].balance.cpu_us,
+                });
                 dispatches.push(Dispatch {
                     subscriber: sub,
                     rpn,
@@ -669,6 +727,32 @@ mod tests {
         });
         // No panic, no counter movement.
         assert_eq!(s.counters(SubscriberId(0)).completed, 0);
+    }
+
+    #[test]
+    fn tracer_records_scheduler_activity() {
+        let reg = registry(&[100.0]);
+        let cfg = SchedulerConfig {
+            queue_capacity: 4,
+            ..Default::default()
+        };
+        let mut s: RequestScheduler<u64> =
+            RequestScheduler::new(&reg, cfg, NodeScheduler::new(0.1));
+        s.nodes_mut().add_rpn(capacity());
+        let tracer = gage_obs::Tracer::enabled(256);
+        s.set_tracer(tracer.clone());
+        let sub = SubscriberId(0);
+        for r in 0..6 {
+            let _ = s.enqueue(sub, r); // two overflow the 4-slot queue
+        }
+        let d = s.run_cycle(0.010);
+        let kinds: Vec<&'static str> = tracer
+            .with_ring(|ring| ring.iter().map(|r| r.event.kind()).collect())
+            .unwrap();
+        assert_eq!(kinds.iter().filter(|k| **k == "enqueue").count(), 4);
+        assert_eq!(kinds.iter().filter(|k| **k == "drop").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "dispatch").count(), d.len());
+        assert_eq!(kinds.last(), Some(&"sched_cycle"));
     }
 
     #[test]

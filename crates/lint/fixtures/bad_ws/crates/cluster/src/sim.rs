@@ -1,0 +1,9 @@
+//! Fixture: instrumented module; ad-hoc output must go through gage-obs.
+
+pub fn report_cycle(cycle: u64) {
+    print!("cycle {cycle}");
+    let lock = std::io::stdout();
+    let _ = lock;
+    print!("allowed {cycle}"); // lint:allow(obs-no-adhoc-print)
+    let _ = cycle + 1;
+}

@@ -17,6 +17,7 @@
 //! | `hot-path-index` | same | indexing by integer literal (`data[4]`) |
 //! | `hot-path-btree` | gage-core::conn_table, gage-des::event, gage-cluster::sim | `BTreeMap`, `BTreeSet` (O(log n) walk on per-packet state; use `gage_collections::DetMap`/`Slab`) |
 //! | `no-print` | all library code | `println!`, `eprintln!`, `dbg!` |
+//! | `obs-no-adhoc-print` | gage-core::scheduler, gage-cluster::sim, gage-net::splice, gage-obs | `print!`, `eprint!`, `stdout()`, `stderr()` (instrumented modules report through `Tracer`/`Registry`) |
 //! | `crate-attrs` | every lib crate | missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
 //! | `float-eq` | gage-core | `==`/`!=` on float literals or resource/credit fields |
 //! | `dep-version` | every `Cargo.toml` | wildcard versions, literal versions outside `[workspace.dependencies]`, duplicated versions |
@@ -44,6 +45,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "gage-cluster",
     "gage-workload",
     "gage-collections",
+    "gage-obs",
 ];
 
 /// (crate, module stems) whose sources sit on the per-request path and must
@@ -63,6 +65,17 @@ const HOT_PATH_BTREE_MODULES: &[(&str, &[&str])] = &[
     ("gage-core", &["conn_table"]),
     ("gage-des", &["event"]),
     ("gage-cluster", &["sim"]),
+];
+
+/// (crate, module stems) instrumented by gage-obs. Observability in these
+/// modules must flow through the `Tracer`/`Registry` (deterministic, zero
+/// when disabled) — never ad-hoc writes to the process's stdout/stderr,
+/// which would both break trace determinism and bypass the ring's bounds.
+const OBS_MODULES: &[(&str, &[&str])] = &[
+    ("gage-core", &["scheduler"]),
+    ("gage-cluster", &["sim"]),
+    ("gage-net", &["splice"]),
+    ("gage-obs", &["ring", "registry", "lib"]),
 ];
 
 /// Float-carrying field names whose equality comparison is almost always a
@@ -508,6 +521,23 @@ fn check_line(ctx: &FileContext<'_>, code: &str, emit: &mut dyn FnMut(&'static s
                     format!("`{print}` in library code; return data or use the caller's sink"),
                 );
             }
+        }
+    }
+
+    let obs = OBS_MODULES
+        .iter()
+        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
+    if obs && !ctx.is_bin {
+        let adhoc = ["print!", "eprint!"].iter().any(|t| has_word(code, t))
+            || code.contains("stdout()")
+            || code.contains("stderr()");
+        if adhoc {
+            emit(
+                "obs-no-adhoc-print",
+                "ad-hoc process output in an instrumented module; \
+                 emit a TraceEvent or Registry metric instead"
+                    .to_string(),
+            );
         }
     }
 

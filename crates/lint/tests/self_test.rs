@@ -59,6 +59,16 @@ fn every_rule_trips_on_the_fixture_corpus() {
     // hygiene: prints, crate attrs, float equality, dependency versions.
     assert!(has(&f, "no-print", CORE_LIB, 24), "println!");
     assert!(has(&f, "no-print", "crates/net/src/splice.rs", 5), "dbg!");
+
+    // instrumented modules must report through gage-obs, not stdout.
+    assert!(
+        has(&f, "obs-no-adhoc-print", "crates/cluster/src/sim.rs", 4),
+        "print!"
+    );
+    assert!(
+        has(&f, "obs-no-adhoc-print", "crates/cluster/src/sim.rs", 5),
+        "stdout()"
+    );
     assert!(has(&f, "crate-attrs", CORE_LIB, 1));
     assert_eq!(
         f.iter()
@@ -89,14 +99,15 @@ fn allowlist_suppresses_each_rule() {
     // Each of these fixture lines repeats a violation with a trailing
     // `// lint:allow(<rule>)` and must produce nothing.
     for (file, line) in [
-        (CORE_LIB, 4),                  // determinism-hash-order
-        (CORE_LIB, 8),                  // determinism-clock
-        (CORE_LIB, 13),                 // determinism-rng
-        (CORE_LIB, 19),                 // float-eq
-        (CORE_LIB, 25),                 // no-print
-        (CORE_SCHED, 7),                // hot-path-index
-        (CORE_SCHED, 18),               // hot-path-panic
-        ("crates/des/src/event.rs", 5), // hot-path-btree
+        (CORE_LIB, 4),                    // determinism-hash-order
+        (CORE_LIB, 8),                    // determinism-clock
+        (CORE_LIB, 13),                   // determinism-rng
+        (CORE_LIB, 19),                   // float-eq
+        (CORE_LIB, 25),                   // no-print
+        (CORE_SCHED, 7),                  // hot-path-index
+        (CORE_SCHED, 18),                 // hot-path-panic
+        ("crates/des/src/event.rs", 5),   // hot-path-btree
+        ("crates/cluster/src/sim.rs", 7), // obs-no-adhoc-print
     ] {
         assert!(!any_at(&f, file, line), "{file}:{line} should be allowed");
     }
@@ -118,14 +129,14 @@ fn exemptions_do_not_leak_findings() {
     }
     // The fixture corpus is fully enumerated: any extra finding is a
     // false positive in the engine.
-    assert_eq!(f.len(), 22, "exact fixture finding count: {f:#?}");
+    assert_eq!(f.len(), 24, "exact fixture finding count: {f:#?}");
 }
 
 #[test]
 fn json_report_is_machine_readable() {
     let f = fixture_findings();
     let json = report_json(&f);
-    assert!(json.starts_with("{\"count\":22,\"findings\":["));
+    assert!(json.starts_with("{\"count\":24,\"findings\":["));
     assert!(json.contains("\"rule\":\"hot-path-panic\""));
     assert!(json.contains("\"file\":\"crates/core/src/lib.rs\""));
     let quotes = json.matches('"').count();

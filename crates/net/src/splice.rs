@@ -17,6 +17,8 @@
 
 use std::net::Ipv4Addr;
 
+use gage_obs::{TraceEvent, Tracer};
+
 use crate::addr::{Endpoint, FourTuple};
 use crate::packet::Packet;
 use crate::seq::SeqNum;
@@ -53,6 +55,36 @@ impl SpliceMap {
             rpn_ip,
             seq_delta: rdn_isn - rpn_isn,
         }
+    }
+
+    /// As [`SpliceMap::new`], but also emits a `SpliceSetup` trace record
+    /// marking the start of the spliced connection's life cycle.
+    pub fn new_traced(
+        client: Endpoint,
+        cluster: Endpoint,
+        rpn_ip: Ipv4Addr,
+        rdn_isn: SeqNum,
+        rpn_isn: SeqNum,
+        tracer: &Tracer,
+    ) -> Self {
+        let map = SpliceMap::new(client, cluster, rpn_ip, rdn_isn, rpn_isn);
+        tracer.emit(TraceEvent::SpliceSetup {
+            client_ip: u32::from(map.client.ip),
+            client_port: map.client.port.get(),
+            rpn_ip: u32::from(map.rpn_ip),
+            seq_delta: map.seq_delta,
+        });
+        map
+    }
+
+    /// Emits the `SpliceTeardown` trace record closing the life cycle
+    /// opened by [`SpliceMap::new_traced`]. Called when the connection's
+    /// remap state is retired (FIN/RST or request completion).
+    pub fn trace_teardown(&self, tracer: &Tracer) {
+        tracer.emit(TraceEvent::SpliceTeardown {
+            client_ip: u32::from(self.client.ip),
+            client_port: self.client.port.get(),
+        });
     }
 
     /// The client endpoint of the spliced connection.
@@ -219,6 +251,46 @@ mod tests {
         let before2 = pkt2.clone();
         assert!(!map.remap_outgoing(&mut pkt2));
         assert_eq!(pkt2, before2);
+    }
+
+    #[test]
+    fn traced_lifecycle_emits_setup_and_teardown() {
+        let tracer = gage_obs::Tracer::enabled(8);
+        let client = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), Port::new(40_000));
+        let cluster = Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP);
+        let rpn_ip = Ipv4Addr::new(10, 0, 2, 4);
+        let map = SpliceMap::new_traced(
+            client,
+            cluster,
+            rpn_ip,
+            SeqNum::new(5_000),
+            SeqNum::new(80),
+            &tracer,
+        );
+        assert_eq!(
+            map,
+            SpliceMap::new(client, cluster, rpn_ip, SeqNum::new(5_000), SeqNum::new(80)),
+            "tracing never changes splice behaviour"
+        );
+        map.trace_teardown(&tracer);
+        let events: Vec<TraceEvent> = tracer
+            .with_ring(|r| r.iter().map(|x| x.event).collect())
+            .unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::SpliceSetup {
+                    client_ip: u32::from(client.ip),
+                    client_port: 40_000,
+                    rpn_ip: u32::from(rpn_ip),
+                    seq_delta: 4_920,
+                },
+                TraceEvent::SpliceTeardown {
+                    client_ip: u32::from(client.ip),
+                    client_port: 40_000,
+                },
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Deterministic structured tracing and live metrics for the Gage stack.
+//!
+//! The paper's argument is only checkable if the *online* behaviour of the
+//! RDN is visible: which subscriber a cycle dispatched for, what the credit
+//! balance was when it did, which RPN a splice landed on, how loaded each
+//! node looked when an accounting report arrived. `gage-obs` provides that
+//! visibility without perturbing the system under test:
+//!
+//! * [`TraceRing`] / [`Tracer`] — a fixed-capacity ring of typed, `Copy`
+//!   [`TraceEvent`] records stamped with [`gage_des::SimTime`]. Emission is
+//!   allocation-free; a disabled tracer costs one branch. Dumps are
+//!   line-oriented JSON and byte-identical across same-seed runs.
+//! * [`Registry`] — named counters / gauges / [`Histogram`]s with
+//!   insertion-ordered, deterministic export as `gage-json` or a table.
+//! * `tracedump` (bin) — pretty-prints and filters dumps by subscriber,
+//!   event kind and time range.
+//!
+//! See DESIGN.md §11 for the record schema, the determinism contract and
+//! the overhead budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod ring;
+
+pub use registry::{Histogram, Registry, METRICS_SCHEMA};
+pub use ring::{TraceEvent, TraceRecord, TraceRing, Tracer, TRACE_SCHEMA};
+
+use gage_json::Json;
+
+/// Parses a dump produced by [`TraceRing::dump`] back into its header and
+/// record objects, validating the schema tag and every line's JSON.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first offending line if the
+/// dump is empty, the header is missing or mistagged, or any line fails to
+/// parse.
+pub fn parse_dump(text: &str) -> Result<(Json, Vec<Json>), String> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| "empty dump".to_string())?;
+    let header = gage_json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+    match header.get("schema").and_then(Json::as_str) {
+        Some(TRACE_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema {other:?}")),
+        None => return Err("header missing schema tag".to_string()),
+    }
+    let mut records = Vec::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let v = gage_json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("kind").and_then(Json::as_str).is_none() {
+            return Err(format!("line {}: record missing kind", i + 1));
+        }
+        records.push(v);
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gage_des::SimTime;
+
+    #[test]
+    fn parse_dump_round_trips() {
+        let t = Tracer::enabled(8);
+        t.emit_at(SimTime::from_millis(1), TraceEvent::Drop { sub: 0 });
+        t.emit_at(
+            SimTime::from_millis(2),
+            TraceEvent::Enqueue { sub: 1, backlog: 2 },
+        );
+        let dump = t.dump().expect("enabled");
+        let (header, records) = parse_dump(&dump).expect("valid dump");
+        assert_eq!(header.get("retained").and_then(Json::as_u64), Some(2));
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records[1].get("kind").and_then(Json::as_str),
+            Some("enqueue")
+        );
+    }
+
+    #[test]
+    fn parse_dump_rejects_garbage() {
+        assert!(parse_dump("").is_err());
+        assert!(parse_dump("{\"schema\":\"other\"}\n").is_err());
+        assert!(parse_dump("{\"no_schema\":1}\n").is_err());
+        let t = Tracer::enabled(4);
+        t.emit(TraceEvent::Drop { sub: 0 });
+        let mut dump = t.dump().expect("enabled");
+        dump.push_str("not json\n");
+        assert!(parse_dump(&dump).is_err());
+    }
+}

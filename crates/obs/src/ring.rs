@@ -1,0 +1,566 @@
+//! The structured trace ring: typed records, a fixed-capacity overwriting
+//! buffer, and the cheap [`Tracer`] handle subsystems emit through.
+//!
+//! Design constraints (see DESIGN.md §11):
+//!
+//! * **Zero allocation on the hot path** — a [`TraceEvent`] is a `Copy`
+//!   enum of plain scalars; emitting writes one record into a slot of a
+//!   buffer allocated once at enable time. Strings appear only at dump
+//!   time.
+//! * **Deterministic** — records are stamped with [`SimTime`] (set by the
+//!   simulation loop via [`Tracer::set_now`]), never a wall clock, so two
+//!   same-seed runs produce byte-identical dumps.
+//! * **Cheaply disableable** — a disabled [`Tracer`] is `None` inside; every
+//!   emit is a single branch and the ring is never allocated.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gage_des::SimTime;
+use gage_json::Json;
+
+/// One typed trace record payload.
+///
+/// Every variant is `Copy` and scalar-only: emitting must not allocate.
+/// Endpoint addresses are carried as raw `u32` IPv4 bits + port so this
+/// crate needs no dependency on `gage-net`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// One scheduler cycle finished (`RequestScheduler::run_cycle_into`).
+    SchedCycle {
+        /// Monotonic cycle number since scheduler construction.
+        cycle: u64,
+        /// Requests dispatched this cycle (reserved + spare).
+        dispatched: u32,
+        /// How many of those were funded by the spare pass.
+        spare: u32,
+        /// Total backlog across all subscriber queues after the cycle.
+        backlog: u32,
+    },
+    /// One request left a subscriber queue for an RPN.
+    Dispatch {
+        /// The queue the request came from.
+        sub: u32,
+        /// The chosen node.
+        rpn: u16,
+        /// Whether the spare pass (rather than the reservation) funded it.
+        spare: bool,
+        /// Predicted CPU cost booked for the request, µs.
+        predicted_cpu_us: f64,
+        /// The subscriber's CPU credit balance after booking, µs.
+        balance_cpu_us: f64,
+    },
+    /// A classified request was accepted into a subscriber queue.
+    Enqueue {
+        /// The owning subscriber.
+        sub: u32,
+        /// Queue length after the insert.
+        backlog: u32,
+    },
+    /// A classified request was dropped because its queue was full.
+    Drop {
+        /// The owning subscriber.
+        sub: u32,
+    },
+    /// An RPN's local service manager built a splice for a connection.
+    SpliceSetup {
+        /// Client IPv4 address (raw bits).
+        client_ip: u32,
+        /// Client port.
+        client_port: u16,
+        /// Servicing RPN's IPv4 address (raw bits).
+        rpn_ip: u32,
+        /// `rdn_isn - rpn_isn` on the sequence circle.
+        seq_delta: u32,
+    },
+    /// A spliced connection completed and its remap state was retired.
+    SpliceTeardown {
+        /// Client IPv4 address (raw bits).
+        client_ip: u32,
+        /// Client port.
+        client_port: u16,
+    },
+    /// An RPN accounting report was reconciled at the RDN.
+    AcctReport {
+        /// The reporting node.
+        rpn: u16,
+        /// Per-subscriber lines in the report.
+        subscribers: u32,
+        /// Requests completed across all lines.
+        completed: u32,
+    },
+    /// An RPN's load estimate after reconciling its report.
+    NodeLoad {
+        /// The node.
+        rpn: u16,
+        /// Estimated load fraction of the node's dispatch window, `[0, 1+]`.
+        load: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case kind tag used in dumps and `tracedump` filters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SchedCycle { .. } => "sched_cycle",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::SpliceSetup { .. } => "splice_setup",
+            TraceEvent::SpliceTeardown { .. } => "splice_teardown",
+            TraceEvent::AcctReport { .. } => "acct_report",
+            TraceEvent::NodeLoad { .. } => "node_load",
+        }
+    }
+
+    /// The subscriber this record is about, for per-subscriber filtering.
+    pub fn subscriber(&self) -> Option<u32> {
+        match self {
+            TraceEvent::Dispatch { sub, .. }
+            | TraceEvent::Enqueue { sub, .. }
+            | TraceEvent::Drop { sub } => Some(*sub),
+            _ => None,
+        }
+    }
+
+    /// The record's payload as ordered JSON fields (dump time only).
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        match *self {
+            TraceEvent::SchedCycle {
+                cycle,
+                dispatched,
+                spare,
+                backlog,
+            } => vec![
+                ("cycle", Json::from(cycle)),
+                ("dispatched", Json::from(dispatched)),
+                ("spare", Json::from(spare)),
+                ("backlog", Json::from(backlog)),
+            ],
+            TraceEvent::Dispatch {
+                sub,
+                rpn,
+                spare,
+                predicted_cpu_us,
+                balance_cpu_us,
+            } => vec![
+                ("sub", Json::from(sub)),
+                ("rpn", Json::from(rpn)),
+                ("spare", Json::from(spare)),
+                ("predicted_cpu_us", Json::from(predicted_cpu_us)),
+                ("balance_cpu_us", Json::from(balance_cpu_us)),
+            ],
+            TraceEvent::Enqueue { sub, backlog } => {
+                vec![("sub", Json::from(sub)), ("backlog", Json::from(backlog))]
+            }
+            TraceEvent::Drop { sub } => vec![("sub", Json::from(sub))],
+            TraceEvent::SpliceSetup {
+                client_ip,
+                client_port,
+                rpn_ip,
+                seq_delta,
+            } => vec![
+                ("client_ip", Json::from(client_ip)),
+                ("client_port", Json::from(client_port)),
+                ("rpn_ip", Json::from(rpn_ip)),
+                ("seq_delta", Json::from(seq_delta)),
+            ],
+            TraceEvent::SpliceTeardown {
+                client_ip,
+                client_port,
+            } => vec![
+                ("client_ip", Json::from(client_ip)),
+                ("client_port", Json::from(client_port)),
+            ],
+            TraceEvent::AcctReport {
+                rpn,
+                subscribers,
+                completed,
+            } => vec![
+                ("rpn", Json::from(rpn)),
+                ("subscribers", Json::from(subscribers)),
+                ("completed", Json::from(completed)),
+            ],
+            TraceEvent::NodeLoad { rpn, load } => {
+                vec![("rpn", Json::from(rpn)), ("load", Json::from(load))]
+            }
+        }
+    }
+}
+
+/// One stamped record in the ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Monotonic emission number (survives wraparound, so gaps in a dump
+    /// reveal exactly how much history the ring overwrote).
+    pub seq: u64,
+    /// Simulated instant the record was emitted at.
+    pub at: SimTime,
+    /// The payload.
+    pub event: TraceEvent,
+}
+
+/// Schema tag stamped into the first line of every dump.
+pub const TRACE_SCHEMA: &str = "gage-trace-v1";
+
+/// A fixed-capacity ring of [`TraceRecord`]s. When full, the oldest record
+/// is overwritten and counted in [`TraceRing::overwritten`].
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    /// Next slot to write (wraps at `capacity`).
+    next: usize,
+    overwritten: u64,
+    emitted: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records. The buffer is
+    /// allocated up front; pushes never allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (configuration error, not runtime
+    /// input).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            overwritten: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest once full.
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        let record = TraceRecord {
+            seq: self.emitted,
+            at,
+            event,
+        };
+        self.emitted += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(record);
+            self.next = self.buf.len() % self.capacity;
+        } else {
+            self.buf[self.next] = record;
+            self.next = (self.next + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records lost to overwriting since creation.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Total records ever emitted (retained + overwritten).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Iterates retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let split = if self.buf.len() < self.capacity {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Serializes the ring as a line-oriented dump: a header object, then
+    /// one JSON object per retained record, oldest first. Same-seed runs
+    /// produce byte-identical dumps (the determinism contract the cluster
+    /// test suite enforces).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let header = Json::obj([
+            ("schema", Json::str(TRACE_SCHEMA)),
+            ("emitted", Json::from(self.emitted)),
+            ("retained", Json::from(self.len())),
+            ("overwritten", Json::from(self.overwritten)),
+            ("capacity", Json::from(self.capacity)),
+        ]);
+        out.push_str(&header.to_string());
+        out.push('\n');
+        for r in self.iter() {
+            let mut pairs = vec![
+                ("seq", Json::from(r.seq)),
+                ("t_ns", Json::from(r.at.as_nanos())),
+                ("kind", Json::str(r.event.kind())),
+            ];
+            pairs.extend(r.event.fields());
+            out.push_str(&Json::obj(pairs).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Shared tracer state: the ring plus the "current instant" the emitting
+/// subsystems are stamped with.
+#[derive(Debug)]
+struct TraceShared {
+    /// Current simulated instant, nanoseconds. An atomic so `set_now` and
+    /// `emit` need no lock ordering; in the single-threaded simulator this
+    /// is simply a cell.
+    now_ns: AtomicU64,
+    ring: Mutex<TraceRing>,
+}
+
+/// A cheap, cloneable handle subsystems emit trace records through.
+///
+/// Disabled (the default) it is a `None` inside: every call is one branch
+/// and nothing is allocated. Enabled, it shares one [`TraceRing`] among all
+/// clones — the scheduler, the cluster world and the splice layer all write
+/// into the same time-ordered stream.
+///
+/// ```rust
+/// use gage_obs::{TraceEvent, Tracer};
+/// use gage_des::SimTime;
+///
+/// let t = Tracer::enabled(1024);
+/// t.set_now(SimTime::from_millis(10));
+/// t.emit(TraceEvent::Drop { sub: 3 });
+/// let dump = t.dump().expect("enabled tracer dumps");
+/// assert!(dump.lines().count() == 2); // header + one record
+/// assert!(Tracer::disabled().dump().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<TraceShared>>,
+}
+
+impl Tracer {
+    /// A tracer that drops every record (near-zero cost: one branch).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer backed by a fresh ring of `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enabled(capacity: usize) -> Tracer {
+        Tracer {
+            shared: Some(Arc::new(TraceShared {
+                now_ns: AtomicU64::new(0),
+                ring: Mutex::new(TraceRing::new(capacity)),
+            })),
+        }
+    }
+
+    /// Whether records are being retained. Emitters can use this to skip
+    /// computing record payloads entirely when tracing is off.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Sets the instant subsequent [`Tracer::emit`] calls are stamped with.
+    /// The simulation loop calls this as virtual time advances; a no-op
+    /// when disabled.
+    pub fn set_now(&self, now: SimTime) {
+        if let Some(s) = &self.shared {
+            s.now_ns.store(now.as_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// Emits a record stamped with the instant from [`Tracer::set_now`].
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(s) = &self.shared {
+            let at = SimTime::from_nanos(s.now_ns.load(Ordering::Relaxed));
+            s.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(at, event);
+        }
+    }
+
+    /// Emits a record stamped with an explicit instant.
+    pub fn emit_at(&self, at: SimTime, event: TraceEvent) {
+        if let Some(s) = &self.shared {
+            s.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(at, event);
+        }
+    }
+
+    /// Runs `f` against the underlying ring; `None` when disabled.
+    pub fn with_ring<R>(&self, f: impl FnOnce(&TraceRing) -> R) -> Option<R> {
+        self.shared
+            .as_ref()
+            .map(|s| f(&s.ring.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    /// Serializes the ring (see [`TraceRing::dump`]); `None` when disabled.
+    pub fn dump(&self) -> Option<String> {
+        self.with_ring(TraceRing::dump)
+    }
+
+    /// Records lost to ring overwriting so far (0 when disabled).
+    pub fn overwritten(&self) -> u64 {
+        self.with_ring(TraceRing::overwritten).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(sub: u32) -> TraceEvent {
+        TraceEvent::Drop { sub }
+    }
+
+    #[test]
+    fn ring_retains_in_emission_order() {
+        let mut r = TraceRing::new(8);
+        for i in 0..5 {
+            r.push(SimTime::from_nanos(i), ev(i as u32));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.overwritten(), 0);
+        assert_eq!(r.emitted(), 5);
+        let seqs: Vec<u64> = r.iter().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_counts() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10u64 {
+            r.push(SimTime::from_nanos(i), ev(i as u32));
+        }
+        assert_eq!(r.len(), 4, "capacity bounds retention");
+        assert_eq!(r.overwritten(), 6, "six records lost");
+        assert_eq!(r.emitted(), 10);
+        // The survivors are exactly the newest four, oldest-first.
+        let seqs: Vec<u64> = r.iter().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let subs: Vec<u32> = r.iter().filter_map(|x| x.event.subscriber()).collect();
+        assert_eq!(subs, vec![6, 7, 8, 9]);
+        // Exactly at the boundary there is no loss.
+        let mut exact = TraceRing::new(4);
+        for i in 0..4u64 {
+            exact.push(SimTime::from_nanos(i), ev(i as u32));
+        }
+        assert_eq!(exact.overwritten(), 0);
+        assert_eq!(exact.iter().count(), 4);
+    }
+
+    #[test]
+    fn dump_header_reflects_overflow() {
+        let mut r = TraceRing::new(2);
+        for i in 0..3u64 {
+            r.push(SimTime::from_nanos(i), ev(i as u32));
+        }
+        let dump = r.dump();
+        let mut lines = dump.lines();
+        let header = gage_json::parse(lines.next().expect("header")).expect("valid json");
+        assert_eq!(
+            header.get("schema").and_then(gage_json::Json::as_str),
+            Some(TRACE_SCHEMA)
+        );
+        assert_eq!(
+            header.get("overwritten").and_then(gage_json::Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            header.get("retained").and_then(gage_json::Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(lines.count(), 2, "one line per retained record");
+    }
+
+    #[test]
+    fn every_kind_dumps_and_parses() {
+        let mut r = TraceRing::new(16);
+        let events = [
+            TraceEvent::SchedCycle {
+                cycle: 1,
+                dispatched: 2,
+                spare: 1,
+                backlog: 7,
+            },
+            TraceEvent::Dispatch {
+                sub: 0,
+                rpn: 3,
+                spare: true,
+                predicted_cpu_us: 1.5,
+                balance_cpu_us: -0.25,
+            },
+            TraceEvent::Enqueue { sub: 1, backlog: 4 },
+            TraceEvent::Drop { sub: 1 },
+            TraceEvent::SpliceSetup {
+                client_ip: 0x0a00_0001,
+                client_port: 40_000,
+                rpn_ip: 0x0a00_0204,
+                seq_delta: 99,
+            },
+            TraceEvent::SpliceTeardown {
+                client_ip: 0x0a00_0001,
+                client_port: 40_000,
+            },
+            TraceEvent::AcctReport {
+                rpn: 2,
+                subscribers: 3,
+                completed: 11,
+            },
+            TraceEvent::NodeLoad { rpn: 2, load: 0.75 },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            r.push(SimTime::from_millis(i as u64), *e);
+        }
+        let dump = r.dump();
+        for (line, e) in dump.lines().skip(1).zip(&events) {
+            let v = gage_json::parse(line).expect("record parses");
+            assert_eq!(
+                v.get("kind").and_then(gage_json::Json::as_str),
+                Some(e.kind())
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.set_now(SimTime::from_secs(1));
+        t.emit(ev(0));
+        assert!(t.dump().is_none());
+        assert_eq!(t.overwritten(), 0);
+    }
+
+    #[test]
+    fn tracer_clones_share_one_ring() {
+        let t = Tracer::enabled(8);
+        let clone = t.clone();
+        t.set_now(SimTime::from_millis(5));
+        clone.emit(ev(1));
+        t.emit_at(SimTime::from_millis(7), ev(2));
+        let records: Vec<(u64, u64)> = t
+            .with_ring(|r| r.iter().map(|x| (x.seq, x.at.as_nanos())).collect())
+            .expect("enabled");
+        assert_eq!(records, vec![(0, 5_000_000), (1, 7_000_000)]);
+    }
+}

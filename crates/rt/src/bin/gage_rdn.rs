@@ -3,8 +3,15 @@
 //! ```text
 //! gage-rdn --listen 127.0.0.1:8080 --control 127.0.0.1:8100 \
 //!          --site gold.local=200 --site bronze.local=50 \
-//!          --backend 127.0.0.1:9001 --backend 127.0.0.1:9002
+//!          --backend 127.0.0.1:9001 --backend 127.0.0.1:9002 \
+//!          [--trace trace.jsonl] [--run-secs 30]
 //! ```
+//!
+//! `--trace PATH` enables the gage-obs trace ring (64 Ki records) and
+//! writes its dump to PATH when the run ends; `--run-secs N` ends the run
+//! after N seconds instead of serving forever. A dump is only written when
+//! the run actually ends, so `--trace` is typically paired with
+//! `--run-secs`. Inspect the dump with the `tracedump` binary.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -16,7 +23,8 @@ use gage_rt::frontend::{spawn_frontend, FrontendConfig, SiteConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gage-rdn --listen ADDR --control ADDR \
-         --site HOST=GRPS [--site ...] --backend ADDR [--backend ...]"
+         --site HOST=GRPS [--site ...] --backend ADDR [--backend ...] \
+         [--trace PATH] [--run-secs N]"
     );
     ExitCode::from(2)
 }
@@ -26,6 +34,8 @@ fn main() -> ExitCode {
     let mut control: Option<SocketAddr> = None;
     let mut sites: Vec<SiteConfig> = Vec::new();
     let mut backends: Vec<SocketAddr> = Vec::new();
+    let mut trace: Option<String> = None;
+    let mut run_secs: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -51,6 +61,11 @@ fn main() -> ExitCode {
                 Ok(addr) => backends.push(addr),
                 Err(_) => return usage(),
             },
+            "--trace" => trace = Some(value),
+            "--run-secs" => match value.parse() {
+                Ok(secs) => run_secs = Some(secs),
+                Err(_) => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -67,6 +82,7 @@ fn main() -> ExitCode {
         control,
         sites,
         backends,
+        trace_capacity: trace.as_ref().map(|_| 1 << 16),
         ..FrontendConfig::loopback(Vec::new(), Vec::new())
     };
     let handle = match spawn_frontend(cfg) {
@@ -81,7 +97,9 @@ fn main() -> ExitCode {
         handle.http_addr, handle.control_addr
     );
 
-    // Periodic status line until the process is interrupted.
+    // Periodic status line until the process is interrupted (or the
+    // requested run length elapses).
+    let started = std::time::Instant::now();
     loop {
         for i in 0..n_sites {
             let c = handle.counters(SubscriberId(i as u32));
@@ -90,6 +108,28 @@ fn main() -> ExitCode {
                 i, c.accepted, c.dropped, c.dispatched, c.completed
             );
         }
-        std::thread::sleep(std::time::Duration::from_secs(5));
+        match run_secs {
+            None => std::thread::sleep(std::time::Duration::from_secs(5)),
+            Some(secs) => {
+                let elapsed = started.elapsed().as_secs();
+                if elapsed >= secs {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_secs((secs - elapsed).min(5)));
+            }
+        }
     }
+
+    if let Some(path) = trace {
+        let Some(dump) = handle.trace_dump() else {
+            eprintln!("gage-rdn: tracing was not enabled");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(&path, dump) {
+            eprintln!("gage-rdn: failed to write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("gage-rdn: wrote trace to {path}");
+    }
+    ExitCode::SUCCESS
 }

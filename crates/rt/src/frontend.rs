@@ -12,13 +12,15 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gage_core::config::SchedulerConfig;
 use gage_core::node::{NodeScheduler, RpnId};
 use gage_core::resource::{Grps, ResourceVector};
 use gage_core::scheduler::{RequestScheduler, SubscriberCounters};
 use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
+use gage_des::SimTime;
+use gage_obs::Tracer;
 use parking_lot::Mutex;
 
 use crate::backend::format_pred;
@@ -50,6 +52,9 @@ pub struct FrontendConfig {
     pub scheduler: SchedulerConfig,
     /// Per-backend capacity estimate for load balancing / spare gating.
     pub backend_capacity: ResourceVector,
+    /// Retained trace-record count for gage-obs tracing; `None` disables
+    /// tracing entirely (the hot path then pays a single branch).
+    pub trace_capacity: Option<usize>,
 }
 
 impl FrontendConfig {
@@ -62,6 +67,7 @@ impl FrontendConfig {
             backends,
             scheduler: SchedulerConfig::default(),
             backend_capacity: ResourceVector::new(1e6, 1e6, 12.5e6),
+            trace_capacity: None,
         }
     }
 }
@@ -85,12 +91,22 @@ pub struct FrontendHandle {
     pub control_addr: SocketAddr,
     scheduler: SharedScheduler,
     stop: Arc<AtomicBool>,
+    tracer: Tracer,
 }
 
 impl FrontendHandle {
     /// Lifetime counters for one subscriber.
     pub fn counters(&self, sub: SubscriberId) -> SubscriberCounters {
         self.scheduler.lock().counters(sub)
+    }
+
+    /// Serializes the trace ring (header + one JSON record per line).
+    /// `None` when the front end was spawned without `trace_capacity`.
+    ///
+    /// Records are stamped with nanoseconds since the front end started,
+    /// quantized to the scheduler tick that most recently ran.
+    pub fn trace_dump(&self) -> Option<String> {
+        self.tracer.dump()
     }
 
     /// Stops the server: both accept loops exit after the next connection
@@ -130,11 +146,13 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
     for _ in &cfg.backends {
         nodes.add_rpn(cfg.backend_capacity);
     }
-    let scheduler: SharedScheduler = Arc::new(Mutex::new(RequestScheduler::new(
-        &registry,
-        cfg.scheduler,
-        nodes,
-    )));
+    let tracer = match cfg.trace_capacity {
+        Some(capacity) => Tracer::enabled(capacity),
+        None => Tracer::disabled(),
+    };
+    let mut request_scheduler = RequestScheduler::new(&registry, cfg.scheduler, nodes);
+    request_scheduler.set_tracer(tracer.clone());
+    let scheduler: SharedScheduler = Arc::new(Mutex::new(request_scheduler));
     let registry = Arc::new(registry);
     let backends = Arc::new(cfg.backends.clone());
     let stop = Arc::new(AtomicBool::new(false));
@@ -164,12 +182,17 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
         let scheduler = Arc::clone(&scheduler);
         let backends = Arc::clone(&backends);
         let stop = Arc::clone(&stop);
+        let tracer = tracer.clone();
+        let started = Instant::now();
         let cycle = Duration::from_secs_f64(cfg.scheduler.scheduling_cycle_secs);
         std::thread::spawn(move || loop {
             std::thread::sleep(cycle);
             if stop.load(Ordering::SeqCst) {
                 break;
             }
+            // Advance the trace clock once per tick: record timestamps are
+            // nanoseconds since start, quantized to the scheduler cycle.
+            tracer.set_now(SimTime::from_nanos(started.elapsed().as_nanos() as u64));
             let dispatches = scheduler.lock().run_cycle(cycle.as_secs_f64());
             for d in dispatches {
                 let Some(&addr) = backends.get(d.rpn.0 as usize) else {
@@ -207,6 +230,7 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
         control_addr,
         scheduler,
         stop,
+        tracer,
     })
 }
 

@@ -2,8 +2,12 @@
 //! QoS guarantee hold while one of them gets hammered.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --trace trace.jsonl]
 //! ```
+//!
+//! With `--trace PATH`, the run records every scheduler cycle, dispatch,
+//! enqueue, drop, splice and accounting report into a gage-obs trace ring
+//! and writes the dump to PATH (inspect it with the `tracedump` binary).
 
 use gage::cluster::params::{ClusterParams, ServiceCostModel};
 use gage::cluster::sim::{ClusterSim, SiteSpec};
@@ -14,6 +18,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next()) {
+            ("--trace", Some(path)) => trace_path = Some(path),
+            _ => {
+                eprintln!("usage: quickstart [--trace PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Two subscribers share the cluster. "gold" reserves 150 generic
     // requests/s and offers a civilized 140/s; "spiky" reserves only 50/s
     // but floods the front door with 400/s.
@@ -56,6 +72,9 @@ fn main() {
 
     println!("simulating 20s of a 3-node Gage cluster under overload...\n");
     let mut sim = ClusterSim::new(params, sites, 7);
+    if trace_path.is_some() {
+        sim.enable_tracing(1 << 16);
+    }
     sim.run_until(SimTime::from_secs(20));
 
     let report = sim.report(SimTime::from_secs(8), SimTime::from_secs(18));
@@ -72,4 +91,17 @@ fn main() {
         "spiky got its 50 GRPS plus all remaining spare ({:.1} served) and dropped the rest ({:.1}/s).",
         spiky.served, spiky.dropped
     );
+
+    if let Some(path) = trace_path {
+        let dump = sim.trace_dump().expect("tracing was enabled above");
+        match std::fs::write(&path, dump) {
+            Ok(()) => println!("\nwrote trace to {path} (pretty-print it with `tracedump {path}`)"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("\nlive metrics registry:");
+        print!("{}", sim.registry().to_table());
+    }
 }

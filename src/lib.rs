@@ -10,7 +10,9 @@
 //! * [`workload`] — synthetic and SPECWeb99-shaped workload generators,
 //! * [`cluster`] — the packet-accurate simulated Gage cluster,
 //! * [`rt`] — the real-network (threaded TCP) variant with multi-process
-//!   binaries.
+//!   binaries,
+//! * [`obs`] — deterministic structured tracing + live metrics registry
+//!   (see the `--trace` flag and the `tracedump` bin).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the system inventory and experiment index.
@@ -22,5 +24,6 @@ pub use gage_cluster as cluster;
 pub use gage_core as core;
 pub use gage_des as des;
 pub use gage_net as net;
+pub use gage_obs as obs;
 pub use gage_rt as rt;
 pub use gage_workload as workload;
