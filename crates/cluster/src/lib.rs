@@ -14,8 +14,11 @@
 //! * [`params`] — calibration: Table-3 per-operation costs, service cost
 //!   models (*generic request* vs. static files), the RDN interrupt-
 //!   overload model behind §4.3's utilization knee,
-//! * [`metrics`] — offered/served/dropped series, observed-usage series
-//!   (Figure 3's metric), latency histograms, RDN busy tracking,
+//! * [`metrics`] — offered/served/dropped/failed series, observed-usage
+//!   series (Figure 3's metric), latency histograms, RDN busy tracking,
+//! * [`faults`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   scripting node crash/recovery, report-loss windows and degraded
+//!   links, replayable byte-for-byte,
 //! * [`sim`] — the event loop wiring clients, the RDN (classification,
 //!   handshake emulation, connection table, the `gage-core` scheduler) and
 //!   the RPNs (local service manager with real [`gage_net::SpliceMap`]
@@ -60,12 +63,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod metrics;
 pub mod params;
 pub mod process;
 pub mod server;
 pub mod sim;
 
+pub use faults::{FaultEvent, FaultPlan};
 pub use metrics::{ClusterReport, SubscriberRow};
-pub use params::{ClusterParams, GageMode, ServiceCostModel};
+pub use params::{ClientRetryParams, ClusterParams, GageMode, ServiceCostModel};
 pub use sim::{ClusterSim, SiteSpec};

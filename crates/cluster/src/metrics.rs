@@ -15,8 +15,14 @@ pub struct SubscriberMetrics {
     pub offered: BinnedSeries,
     /// Requests completed (response fully received), at completion time.
     pub served: BinnedSeries,
-    /// Requests dropped at the RDN (queue overflow), at drop time.
+    /// Requests refused by the RDN (queue overflow, unknown host,
+    /// unrecoverable dispatch), recorded when the RST reaches the client.
     pub dropped: BinnedSeries,
+    /// Requests that timed out at the client after exhausting retries,
+    /// at final-timeout time. Together with `served` and `dropped` this
+    /// completes the conservation invariant: every offered request lands in
+    /// exactly one of the three buckets.
+    pub failed: BinnedSeries,
     /// RDN-observed resource usage in generic-request equivalents, recorded
     /// when accounting reports arrive.
     pub observed_usage: BinnedSeries,
@@ -33,6 +39,7 @@ impl Default for SubscriberMetrics {
             offered: BinnedSeries::new(METRIC_BIN),
             served: BinnedSeries::new(METRIC_BIN),
             dropped: BinnedSeries::new(METRIC_BIN),
+            failed: BinnedSeries::new(METRIC_BIN),
             observed_usage: BinnedSeries::new(METRIC_BIN),
             observed_completions: BinnedSeries::new(METRIC_BIN),
             latency: DurationHistogram::new(),
@@ -91,6 +98,8 @@ pub struct SubscriberRow {
     pub served: f64,
     /// Dropped at the RDN, requests/s.
     pub dropped: f64,
+    /// Failed at the client (timeout after retries), requests/s.
+    pub failed: f64,
     /// Mean end-to-end latency, milliseconds.
     pub mean_latency_ms: f64,
 }
@@ -119,12 +128,12 @@ impl ClusterReport {
     /// subscriber), mirroring the paper's Table 1/2 format.
     pub fn to_table(&self) -> String {
         let mut out = String::from(
-            "Subscriber            Reservation  Offered   Served    Dropped   Latency(ms)\n",
+            "Subscriber            Reservation  Offered   Served    Dropped   Failed    Latency(ms)\n",
         );
         for r in &self.subscribers {
             out.push_str(&format!(
-                "{:<21} {:>11.1} {:>8.1} {:>8.1} {:>9.1} {:>12.2}\n",
-                r.host, r.reservation, r.offered, r.served, r.dropped, r.mean_latency_ms
+                "{:<21} {:>11.1} {:>8.1} {:>8.1} {:>9.1} {:>9.1} {:>12.2}\n",
+                r.host, r.reservation, r.offered, r.served, r.dropped, r.failed, r.mean_latency_ms
             ));
         }
         out.push_str(&format!(
@@ -276,6 +285,7 @@ mod tests {
                 offered: 259.4,
                 served: 259.4,
                 dropped: 0.0,
+                failed: 0.0,
                 mean_latency_ms: 25.0,
             }],
             total_served: 259.4,
@@ -288,6 +298,7 @@ mod tests {
         let t = rep.to_table();
         assert!(t.contains("site1"));
         assert!(t.contains("259.4"));
+        assert!(t.contains("Failed"));
         assert!(t.contains("RDN CPU 11.0%"));
         assert!(t.contains("12345 lookups, 98.4% hit rate, 7 evictions"));
     }

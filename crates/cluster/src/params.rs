@@ -188,6 +188,37 @@ impl Default for NetworkParams {
     }
 }
 
+/// Client-side request timeout and bounded deterministic-backoff retry.
+///
+/// Every issued request must terminally resolve as served, dropped, or
+/// **failed**: if no response (or RST) arrives within
+/// `timeout * backoff^attempt`, the client abandons the connection and —
+/// while attempts remain — reissues the request on a fresh connection.
+/// After `max_retries` retries the request is counted in the `failed`
+/// conservation bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientRetryParams {
+    /// Base response timeout for the first attempt.
+    pub timeout: SimDuration,
+    /// Retries after the initial attempt (0 = fail on first timeout).
+    pub max_retries: u32,
+    /// Multiplier applied to the timeout per attempt (deterministic
+    /// exponential backoff; 1.0 = constant timeout).
+    pub backoff: f64,
+}
+
+impl Default for ClientRetryParams {
+    fn default() -> Self {
+        ClientRetryParams {
+            // Generously above any healthy-cluster queueing delay so the
+            // timeout path only fires under faults.
+            timeout: SimDuration::from_secs(10),
+            max_retries: 2,
+            backoff: 2.0,
+        }
+    }
+}
+
 /// Whether the QoS layer is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GageMode {
@@ -252,10 +283,20 @@ pub struct ClusterParams {
     /// classification, scheduling and forwarding. 0 = primary does it all.
     pub secondary_rdns: usize,
     /// Probability that an accounting report is lost in transit (failure
-    /// injection; the control loop must tolerate gaps).
+    /// injection; the control loop must tolerate gaps). For scripted loss
+    /// windows prefer a `FaultPlan`.
     pub report_loss_prob: f64,
     /// Optional CGI-style dynamic request handling.
     pub dynamic: Option<DynamicRequests>,
+    /// Report-watchdog grace window, in accounting cycles: a node whose
+    /// last report is older than `watchdog_grace_cycles * accounting_cycle`
+    /// is written off (scheduler stops dispatching to it) until a report
+    /// arrives again. The default 4.5 preserves the historical behaviour
+    /// (a 3.5-cycle deadline checked one cycle late): with the default
+    /// 100 ms cycle a crashed node is written off after ~450 ms.
+    pub watchdog_grace_cycles: f64,
+    /// Client-side timeout/retry policy (the `failed` conservation bucket).
+    pub client_retry: ClientRetryParams,
 }
 
 impl Default for ClusterParams {
@@ -274,6 +315,8 @@ impl Default for ClusterParams {
             secondary_rdns: 0,
             report_loss_prob: 0.0,
             dynamic: None,
+            watchdog_grace_cycles: 4.5,
+            client_retry: ClientRetryParams::default(),
         }
     }
 }

@@ -24,6 +24,22 @@
 //! costs charged numerically) while the control path carries real
 //! [`Packet`] values through real classification, connection-table and
 //! splice-remap code.
+//!
+//! # Failure and recovery
+//!
+//! Faults are injected by a scripted, seeded [`crate::FaultPlan`]
+//! (crash/recover events, report-loss windows, degraded RDN→RPN links).
+//! Every issued request terminally resolves as *served*, *dropped*
+//! (refused by the RDN with an RST) or *failed* (client timeout after
+//! bounded retries) — the chaos suite asserts this conservation exactly.
+//! A crashed node loses its in-flight work; the RDN's report watchdog
+//! writes it off ([`TraceEvent::NodeDown`]), purges its splice routes and
+//! re-queues dispatches that bounced off it. A recovered node reboots
+//! cold (fresh process table, cold cache), restarts its accounting chain,
+//! and its first report re-registers it with the RDN
+//! ([`TraceEvent::NodeUp`]) — the watchdog's symmetric up-path. While
+//! live capacity is short of the reservation sum, the scheduler scales
+//! effective reservations proportionally (graceful degradation).
 
 use std::net::Ipv4Addr;
 
@@ -35,7 +51,7 @@ use gage_core::node::{NodeScheduler, RpnId};
 use gage_core::resource::{Grps, ResourceVector};
 use gage_core::scheduler::RequestScheduler;
 use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
-use gage_des::{Context, Model, SimDuration, SimTime, Simulation};
+use gage_des::{Context, EventId, Model, SimDuration, SimTime, Simulation};
 use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
 use gage_net::packet::Packet;
 use gage_net::splice::SpliceMap;
@@ -44,6 +60,7 @@ use gage_obs::{Registry, TraceEvent, Tracer};
 use gage_workload::Trace;
 
 use crate::cache::LruCache;
+use crate::faults::{FaultEvent, FaultPlan, FaultState};
 use crate::metrics::{RdnMetrics, SubscriberMetrics};
 use crate::params::{ClusterParams, DiskPolicy, GageMode};
 use crate::process::{Pid, ProcessTable};
@@ -97,24 +114,32 @@ pub enum Ev {
         pkt: Packet,
         meta: Option<DispatchMeta>,
     },
-    /// A packet reaches a client (SYN-ACK).
+    /// A packet reaches a client (SYN-ACK or RST).
     ClientPacket { sub: u32, pkt: Packet },
     /// A complete response reaches a client.
     ResponseArrive { sub: u32, conn: FourTuple },
+    /// A client's per-attempt request timer expired.
+    ClientTimeout {
+        sub: u32,
+        conn: FourTuple,
+        attempt: u32,
+    },
     /// The RDN scheduler's 10 ms tick.
     SchedTick,
-    /// An RPN's accounting-cycle tick.
-    AcctTick { rpn: u16 },
+    /// An RPN's accounting-cycle tick (valid only in its boot `epoch`).
+    AcctTick { rpn: u16, epoch: u32 },
     /// An accounting report reaches the RDN.
     Report { report: UsageReport },
     /// Head of an RPN's CPU queue finished.
-    CpuDone { rpn: u16 },
+    CpuDone { rpn: u16, epoch: u32 },
     /// Head of an RPN's disk queue finished.
-    DiskDone { rpn: u16 },
+    DiskDone { rpn: u16, epoch: u32 },
     /// Head of an RPN's NIC queue finished.
-    NicDone { rpn: u16 },
-    /// Fail-stop crash of an RPN (failure injection).
+    NicDone { rpn: u16, epoch: u32 },
+    /// Fail-stop crash of an RPN (fault injection).
     CrashRpn { rpn: u16 },
+    /// Reboot of a crashed RPN (fault injection).
+    RecoverRpn { rpn: u16 },
 }
 
 /// An in-service request on an RPN.
@@ -158,12 +183,28 @@ struct Rpn {
     completed_requests: u64,
     /// Multiplier on this node's timer periods (1.0 ± a few hundred ppm).
     clock_skew: f64,
+    /// Boot generation: bumped on every crash so events scheduled against a
+    /// previous life of the node (CPU/disk/NIC completions, accounting
+    /// ticks) are recognizably stale and ignored.
+    epoch: u32,
+}
+
+/// A client's record of one outstanding request attempt.
+#[derive(Debug, Clone, Copy)]
+struct PendingClientReq {
+    /// When the *first* attempt was issued; latency on eventual success
+    /// spans retries.
+    first_issued: SimTime,
+    /// 0 for the initial send, incremented per retry.
+    attempt: u32,
+    /// The armed [`Ev::ClientTimeout`], cancelled when the request resolves.
+    timeout: EventId,
 }
 
 #[derive(Debug)]
 struct ClientSide {
     /// Outstanding requests keyed by their client→cluster tuple.
-    pending: DetMap<FourTuple, SimTime>,
+    pending: DetMap<FourTuple, PendingClientReq>,
     issued: u64,
 }
 
@@ -202,6 +243,8 @@ pub struct World {
     dead_rpns: Vec<bool>,
     /// Reports dropped by the injected loss process.
     pub lost_reports: u64,
+    /// Runtime state of the installed [`FaultPlan`] (inactive by default).
+    faults: FaultState,
     /// Reused scratch buffer for the 10 ms scheduler tick, so the steady
     /// state allocates no dispatch `Vec` per cycle.
     dispatch_buf: Vec<gage_core::scheduler::Dispatch<PendingRequest>>,
@@ -256,20 +299,93 @@ impl World {
     fn on_issue(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, idx: u32) {
         let entry = &self.traces[sub as usize].entries[idx as usize];
         let url = (entry.path.clone(), entry.size_bytes, entry.host.clone());
+        // `offered` counts logical requests once; retries re-send without
+        // re-counting, so offered == served + dropped + failed holds exactly.
+        self.metrics[sub as usize].offered.record(ctx.now(), 1.0);
+        let first_issued = ctx.now();
+        self.issue_request(ctx, sub, url, first_issued, 0);
+    }
+
+    /// Sends attempt `attempt` of a request: opens a fresh connection, arms
+    /// the per-attempt timeout (base timeout × backoff^attempt) and SYNs the
+    /// cluster address.
+    fn issue_request(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        sub: u32,
+        url: (String, u64, String),
+        first_issued: SimTime,
+        attempt: u32,
+    ) {
         let n = self.clients[sub as usize].issued;
         self.clients[sub as usize].issued += 1;
         let client_ep = self.client_endpoint(sub, n);
         let conn = FourTuple::new(client_ep, self.cluster_ep);
-        self.clients[sub as usize].pending.insert(conn, ctx.now());
+        let retry = self.params.client_retry;
+        let timeout_in = retry.timeout.mul_f64(retry.backoff.powi(attempt as i32));
+        let timeout = ctx.schedule_in(timeout_in, Ev::ClientTimeout { sub, conn, attempt });
+        self.clients[sub as usize].pending.insert(
+            conn,
+            PendingClientReq {
+                first_issued,
+                attempt,
+                timeout,
+            },
+        );
         self.client_url.insert(conn, url);
-        self.metrics[sub as usize].offered.record(ctx.now(), 1.0);
         self.isn_counter = self.isn_counter.wrapping_add(64_223);
         let syn = Packet::syn(client_ep, self.cluster_ep, SeqNum::new(self.isn_counter));
         let hop = self.hop();
         ctx.schedule_in(hop, Ev::RdnPacket { pkt: syn });
     }
 
+    fn on_client_timeout(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        sub: u32,
+        conn: FourTuple,
+        attempt: u32,
+    ) {
+        let Some(entry) = self.clients[sub as usize].pending.get(&conn).copied() else {
+            return; // resolved (served or reset) before the timer fired
+        };
+        if entry.attempt != attempt {
+            return; // stale timer from an earlier attempt on a reused tuple
+        }
+        self.clients[sub as usize].pending.remove(&conn);
+        let url = self.client_url.remove(&conn);
+        let retry = self.params.client_retry;
+        if attempt < retry.max_retries {
+            if let Some(url) = url {
+                self.tracer.emit(TraceEvent::RequestRetry {
+                    sub,
+                    attempt: attempt + 1,
+                });
+                self.issue_request(ctx, sub, url, entry.first_issued, attempt + 1);
+                return;
+            }
+        }
+        // Out of retries: the request terminally fails at the client.
+        self.metrics[sub as usize].failed.record(ctx.now(), 1.0);
+        self.tracer.emit(TraceEvent::RequestFailed {
+            sub,
+            attempts: attempt + 1,
+        });
+    }
+
     fn on_client_packet(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, pkt: Packet) {
+        // An RST means the RDN refused the request (queue overflow, unknown
+        // host, unrecoverable dispatch): resolve it as dropped right here so
+        // the retry timer never fires for it.
+        if pkt.is_rst() {
+            let conn = FourTuple::new(pkt.dst(), self.cluster_ep);
+            if let Some(entry) = self.clients[sub as usize].pending.remove(&conn) {
+                ctx.cancel(entry.timeout);
+                self.metrics[sub as usize].dropped.record(ctx.now(), 1.0);
+            }
+            self.client_url.remove(&conn);
+            return;
+        }
         // Only SYN-ACKs reach clients as discrete packets; reply with the
         // handshake ACK followed by the URL request.
         if !(pkt.is_syn() && pkt.is_ack()) {
@@ -299,8 +415,9 @@ impl World {
     }
 
     fn on_response_arrive(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
-        if let Some(issued) = self.clients[sub as usize].pending.remove(&conn) {
-            let latency = ctx.now().saturating_since(issued);
+        if let Some(entry) = self.clients[sub as usize].pending.remove(&conn) {
+            ctx.cancel(entry.timeout);
+            let latency = ctx.now().saturating_since(entry.first_issued);
             self.metrics[sub as usize].served.record(ctx.now(), 1.0);
             self.metrics[sub as usize].latency.record(latency);
         }
@@ -309,19 +426,46 @@ impl World {
 
     // ---- RDN ----
 
+    /// Refuses a client request: charges the RDN for the reset packet and
+    /// RSTs the connection so the client resolves it as dropped (and disarms
+    /// its retry timer).
+    fn refuse_with_rst(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, url_pkt: &Packet) {
+        self.charge_rdn(ctx.now(), 1, 0.0);
+        let rst = Packet::rst(
+            self.cluster_ep,
+            url_pkt.src(),
+            url_pkt.tcp.ack,
+            url_pkt.tcp.seq + url_pkt.payload.len() as u32,
+        );
+        let hop = self.hop();
+        ctx.schedule_in(hop, Ev::ClientPacket { sub, pkt: rst });
+    }
+
+    /// Forwards a frame onto the RDN→RPN link, subject to any active link
+    /// fault: the frame may vanish (recovery is the client's timeout) or be
+    /// delayed.
+    fn send_to_rpn(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        rpn: u16,
+        pkt: Packet,
+        meta: Option<DispatchMeta>,
+    ) {
+        let mut delay = self.hop();
+        if let Some((drop_prob, extra)) = self.faults.link_fault_at(ctx.now(), rpn) {
+            if self.faults.chance(drop_prob) {
+                return; // frame lost on the degraded link
+            }
+            delay += extra;
+        }
+        ctx.schedule_in(delay, Ev::RpnPacket { rpn, pkt, meta });
+    }
+
     fn on_rdn_packet(&mut self, ctx: &mut Context<'_, Ev>, pkt: Packet) {
         // Established connection? Bridge it straight to the owning RPN.
         if let Some(route) = self.conn_table.lookup(pkt.four_tuple()) {
             self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.forwarding_us);
-            let hop = self.hop();
-            ctx.schedule_in(
-                hop,
-                Ev::RpnPacket {
-                    rpn: route.rpn.0,
-                    pkt,
-                    meta: None,
-                },
-            );
+            self.send_to_rpn(ctx, route.rpn.0, pkt, None);
             return;
         }
         match classify_packet(&pkt, false) {
@@ -360,6 +504,11 @@ impl World {
                 self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.classification_us);
                 let Some(sub) = self.registry.classify_host(&info.host) else {
                     self.unknown_host_drops += 1;
+                    // Still terminate the connection: the issuing client (if
+                    // any) resolves the request as dropped.
+                    if let Some(sub) = self.subscriber_of_client(pkt.src()) {
+                        self.refuse_with_rst(ctx, sub, &pkt);
+                    }
                     return;
                 };
                 let size = x_size_hint(&pkt).unwrap_or(6 * 1024);
@@ -377,8 +526,8 @@ impl World {
                 };
                 match self.params.mode {
                     GageMode::Enabled => {
-                        if self.scheduler.enqueue(sub, req).is_err() {
-                            self.metrics[sub.0 as usize].dropped.record(ctx.now(), 1.0);
+                        if let Err(req) = self.scheduler.enqueue(sub, req) {
+                            self.refuse_with_rst(ctx, sub.0, &req.url_pkt);
                         }
                     }
                     GageMode::Bypass => {
@@ -417,29 +566,31 @@ impl World {
             path: req.path,
             size: req.size,
         };
-        let hop = self.hop();
-        ctx.schedule_in(
-            hop,
-            Ev::RpnPacket {
-                rpn: rpn.0,
-                pkt: req.url_pkt,
-                meta: Some(meta),
-            },
-        );
+        self.send_to_rpn(ctx, rpn.0, req.url_pkt, Some(meta));
     }
 
     fn on_sched_tick(&mut self, ctx: &mut Context<'_, Ev>) {
-        // Watchdog: a node that has missed several accounting cycles is
-        // declared down and excluded from dispatch (its in-flight work is
-        // written off).
-        let deadline = self.params.accounting_cycle.mul_f64(3.5);
+        // Watchdog: a node that has gone silent for `watchdog_grace_cycles`
+        // accounting cycles is declared down, excluded from dispatch (its
+        // in-flight work is written off) and its splice routes are purged.
+        let grace = self
+            .params
+            .accounting_cycle
+            .mul_f64(self.params.watchdog_grace_cycles);
         for r in 0..self.last_report.len() {
             let rpn = RpnId(r as u16);
             if self.scheduler.nodes().is_up(rpn)
-                && ctx.now().saturating_since(self.last_report[r])
-                    > deadline + self.params.accounting_cycle
+                && ctx.now().saturating_since(self.last_report[r]) > grace
             {
                 self.scheduler.nodes_mut().set_up(rpn, false);
+                self.tracer.emit(TraceEvent::NodeDown { rpn: r as u16 });
+                let purged = self.conn_table.purge_rpn(rpn);
+                if purged > 0 {
+                    self.tracer.emit(TraceEvent::RoutesPurged {
+                        rpn: r as u16,
+                        count: purged as u32,
+                    });
+                }
             }
         }
         let cycle = self.params.scheduler.scheduling_cycle_secs;
@@ -464,10 +615,12 @@ impl World {
         if r < self.last_report.len() {
             self.last_report[r] = ctx.now();
             // A report from a node the watchdog had written off means it is
-            // back (not produced by the current fail-stop model, but the
-            // recovery path is cheap and symmetrical).
+            // back: either a rebooted node re-announcing itself (its first
+            // post-recovery report) or a live node whose reports were merely
+            // lost. Either way the node rejoins the dispatch set.
             if !self.scheduler.nodes().is_up(report.rpn) && !self.dead_rpns[r] {
                 self.scheduler.nodes_mut().set_up(report.rpn, true);
+                self.tracer.emit(TraceEvent::NodeUp { rpn: report.rpn.0 });
             }
         }
         for line in &report.per_subscriber {
@@ -508,7 +661,14 @@ impl World {
         meta: Option<DispatchMeta>,
     ) {
         if self.dead_rpns[rpn_idx as usize] {
-            return; // packets to a crashed node vanish
+            // The node is down. Bridged packets vanish, but a freshly
+            // dispatched request is pulled back by the RDN (delivery
+            // failure is visible at the link layer): its booking is voided
+            // and it rejoins the head of its queue for another node.
+            if let Some(meta) = meta {
+                self.requeue_undelivered(ctx, rpn_idx, pkt, meta);
+            }
+            return;
         }
         let Some(meta) = meta else {
             // Bridged packet on an established connection (stray ACK/FIN
@@ -584,14 +744,65 @@ impl World {
                 reap_pid,
             },
         );
+        let epoch = rpn.epoch;
         let fin = rpn
             .cpu
             .enqueue(ctx.now(), SimDuration::from_secs_f64(cpu_us / 1e6), conn);
-        ctx.schedule_at(fin, Ev::CpuDone { rpn: rpn_idx });
+        ctx.schedule_at(
+            fin,
+            Ev::CpuDone {
+                rpn: rpn_idx,
+                epoch,
+            },
+        );
     }
 
-    fn on_cpu_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
-        if self.dead_rpns[rpn_idx as usize] {
+    /// Pulls back a dispatch that bounced off a dead node: removes its
+    /// route, refunds its scheduler booking and puts it back at the head of
+    /// its queue (or refuses it if the queue has since filled).
+    fn requeue_undelivered(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        rpn_idx: u16,
+        pkt: Packet,
+        meta: DispatchMeta,
+    ) {
+        let conn = pkt.four_tuple();
+        self.conn_table.remove(conn);
+        match self.params.mode {
+            GageMode::Enabled => {
+                self.scheduler
+                    .void_dispatch(meta.sub, RpnId(rpn_idx), meta.predicted);
+                self.tracer.emit(TraceEvent::DispatchRequeued {
+                    sub: meta.sub.0,
+                    rpn: rpn_idx,
+                });
+                let req = PendingRequest {
+                    conn,
+                    url_pkt: pkt,
+                    rdn_isn: meta.rdn_isn,
+                    path: meta.path,
+                    size: meta.size,
+                };
+                if let Err(req) = self.scheduler.requeue(meta.sub, req) {
+                    self.refuse_with_rst(ctx, meta.sub.0, &req.url_pkt);
+                }
+            }
+            GageMode::Bypass => {
+                // No scheduler queues to return to: refuse outright.
+                self.refuse_with_rst(ctx, meta.sub.0, &pkt);
+            }
+        }
+    }
+
+    /// True if an event stamped with `epoch` belongs to a previous life of
+    /// the node (or the node is down) and must be ignored.
+    fn stale_epoch(&self, rpn_idx: u16, epoch: u32) -> bool {
+        self.dead_rpns[rpn_idx as usize] || self.rpns[rpn_idx as usize].epoch != epoch
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
+        if self.stale_epoch(rpn_idx, epoch) {
             return;
         }
         let rpn = &mut self.rpns[rpn_idx as usize];
@@ -607,14 +818,20 @@ impl World {
                 SimDuration::from_secs_f64(req.disk_us / 1e6),
                 conn,
             );
-            ctx.schedule_at(fin, Ev::DiskDone { rpn: rpn_idx });
+            ctx.schedule_at(
+                fin,
+                Ev::DiskDone {
+                    rpn: rpn_idx,
+                    epoch,
+                },
+            );
         } else {
             self.start_nic_send(ctx, rpn_idx, conn);
         }
     }
 
-    fn on_disk_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
-        if self.dead_rpns[rpn_idx as usize] {
+    fn on_disk_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
+        if self.stale_epoch(rpn_idx, epoch) {
             return;
         }
         let rpn = &mut self.rpns[rpn_idx as usize];
@@ -638,12 +855,19 @@ impl World {
         if let Some(req) = rpn.active.get_mut(&conn) {
             req.net_bytes = wire;
         }
+        let epoch = rpn.epoch;
         let fin = rpn.nic.enqueue(ctx.now(), service, conn);
-        ctx.schedule_at(fin, Ev::NicDone { rpn: rpn_idx });
+        ctx.schedule_at(
+            fin,
+            Ev::NicDone {
+                rpn: rpn_idx,
+                epoch,
+            },
+        );
     }
 
-    fn on_nic_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
-        if self.dead_rpns[rpn_idx as usize] {
+    fn on_nic_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
+        if self.stale_epoch(rpn_idx, epoch) {
             return;
         }
         let (conn, req) = {
@@ -689,9 +913,9 @@ impl World {
         ctx.schedule_in(hop, Ev::ResponseArrive { sub: sub.0, conn });
     }
 
-    fn on_acct_tick(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
-        if self.dead_rpns[rpn_idx as usize] {
-            return; // crashed nodes stop reporting (and stay stopped)
+    fn on_acct_tick(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
+        if self.stale_epoch(rpn_idx, epoch) {
+            return; // crashed nodes stop reporting until recovery reboots them
         }
         let report = {
             let rpn = &mut self.rpns[rpn_idx as usize];
@@ -728,8 +952,16 @@ impl World {
             }
         };
         let hop = self.hop();
-        let loss = self.params.report_loss_prob;
-        if loss > 0.0 && ctx.rng().chance(loss) {
+        // A fault-plan loss window overrides the whole-run knob, and draws
+        // from the plan's own RNG stream so the traffic stream is untouched.
+        let lost = match self.faults.report_loss_at(ctx.now()) {
+            Some(p) => self.faults.chance(p),
+            None => {
+                let p = self.params.report_loss_prob;
+                p > 0.0 && ctx.rng().chance(p)
+            }
+        };
+        if lost {
             self.lost_reports += 1;
         } else {
             ctx.schedule_in(hop, Ev::Report { report });
@@ -746,8 +978,67 @@ impl World {
         let noise = 0.99 + 0.02 * ctx.rng().f64();
         ctx.schedule_in(
             self.params.accounting_cycle.mul_f64(skew * noise),
-            Ev::AcctTick { rpn: rpn_idx },
+            Ev::AcctTick {
+                rpn: rpn_idx,
+                epoch,
+            },
         );
+    }
+
+    // ---- fault injection ----
+
+    /// Fail-stop crash: the node's in-flight work, process table, cache and
+    /// queues are lost, and its boot epoch advances so every event scheduled
+    /// against the old life is stale. Idempotent.
+    fn on_crash(&mut self, rpn_idx: u16) {
+        let idx = rpn_idx as usize;
+        if self.dead_rpns[idx] {
+            return; // already down
+        }
+        self.dead_rpns[idx] = true;
+        let n_sites = self.registry.len();
+        let rpn = &mut self.rpns[idx];
+        rpn.epoch = rpn.epoch.wrapping_add(1);
+        rpn.active.clear();
+        rpn.cpu = FifoServer::new();
+        rpn.disk = FifoServer::new();
+        rpn.nic = FifoServer::new();
+        let mut processes = ProcessTable::new();
+        rpn.workers = (0..n_sites)
+            .map(|s| processes.launch_entity_root(SubscriberId(s as u32)))
+            .collect();
+        rpn.processes = processes;
+        if let DiskPolicy::Cache { capacity_bytes, .. } = self.params.service.disk {
+            rpn.cache = Some(LruCache::new(capacity_bytes));
+        }
+        for acc in rpn.cycle.iter_mut() {
+            *acc = CycleAccum::default();
+        }
+        rpn.total_cycle_usage = ResourceVector::ZERO;
+        self.tracer.emit(TraceEvent::RpnCrash { rpn: rpn_idx });
+    }
+
+    /// Reboot of a crashed node: it comes back cold and restarts its
+    /// accounting chain; its first report is what re-registers it with the
+    /// RDN (the watchdog's up-path). Idempotent.
+    fn on_recover(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16) {
+        let idx = rpn_idx as usize;
+        if !self.dead_rpns[idx] {
+            return; // already up
+        }
+        self.dead_rpns[idx] = false;
+        self.tracer.emit(TraceEvent::RpnRecover { rpn: rpn_idx });
+        if self.params.mode == GageMode::Enabled {
+            let skew = self.rpns[idx].clock_skew;
+            let epoch = self.rpns[idx].epoch;
+            ctx.schedule_in(
+                self.params.accounting_cycle.mul_f64(skew),
+                Ev::AcctTick {
+                    rpn: rpn_idx,
+                    epoch,
+                },
+            );
+        }
     }
 
     /// Debug view: per-RPN load fractions and per-subscriber (backlog,
@@ -788,6 +1079,13 @@ impl World {
             .collect()
     }
 
+    /// The scheduler's current graceful-degradation multiplier (1.0 =
+    /// full capacity, <1.0 = reservations scaled down, 0.0 = no live
+    /// nodes).
+    pub fn degrade_scale(&self) -> f64 {
+        self.scheduler.degrade_scale()
+    }
+
     fn subscriber_of_client(&self, client: Endpoint) -> Option<u32> {
         // Client addressing encodes the subscriber (see client_endpoint).
         let o = client.ip.octets();
@@ -822,19 +1120,20 @@ impl Model for World {
             Ev::RpnPacket { rpn, pkt, meta } => self.on_rpn_packet(ctx, rpn, pkt, meta),
             Ev::ClientPacket { sub, pkt } => self.on_client_packet(ctx, sub, pkt),
             Ev::ResponseArrive { sub, conn } => self.on_response_arrive(ctx, sub, conn),
-            Ev::SchedTick => self.on_sched_tick(ctx),
-            Ev::AcctTick { rpn } => self.on_acct_tick(ctx, rpn),
-            Ev::Report { report } => self.on_report(ctx, report),
-            Ev::CrashRpn { rpn } => {
-                // Fail-stop: the node vanishes. The RDN only learns of it
-                // when the report watchdog fires; until then it keeps
-                // dispatching into the void (those requests are lost).
-                self.dead_rpns[rpn as usize] = true;
-                self.rpns[rpn as usize].active.clear();
+            Ev::ClientTimeout { sub, conn, attempt } => {
+                self.on_client_timeout(ctx, sub, conn, attempt)
             }
-            Ev::CpuDone { rpn } => self.on_cpu_done(ctx, rpn),
-            Ev::DiskDone { rpn } => self.on_disk_done(ctx, rpn),
-            Ev::NicDone { rpn } => self.on_nic_done(ctx, rpn),
+            Ev::SchedTick => self.on_sched_tick(ctx),
+            Ev::AcctTick { rpn, epoch } => self.on_acct_tick(ctx, rpn, epoch),
+            Ev::Report { report } => self.on_report(ctx, report),
+            // Fail-stop: the node vanishes. The RDN only learns of it when
+            // the report watchdog fires; until then dispatches bounce off
+            // the dead node and are re-queued.
+            Ev::CrashRpn { rpn } => self.on_crash(rpn),
+            Ev::RecoverRpn { rpn } => self.on_recover(ctx, rpn),
+            Ev::CpuDone { rpn, epoch } => self.on_cpu_done(ctx, rpn, epoch),
+            Ev::DiskDone { rpn, epoch } => self.on_disk_done(ctx, rpn, epoch),
+            Ev::NicDone { rpn, epoch } => self.on_nic_done(ctx, rpn, epoch),
         }
     }
 }
@@ -899,6 +1198,7 @@ impl ClusterSim {
                 cycle: vec![CycleAccum::default(); sites.len()],
                 total_cycle_usage: ResourceVector::ZERO,
                 completed_requests: 0,
+                epoch: 0,
                 // Deterministic per-node crystal skew in ±200 ppm.
                 clock_skew: {
                     let h = seed
@@ -937,6 +1237,7 @@ impl ClusterSim {
             last_report: vec![SimTime::ZERO; params.rpn_count],
             dead_rpns: vec![false; params.rpn_count],
             lost_reports: 0,
+            faults: FaultState::inactive(),
             dispatch_buf: Vec::new(),
             tracer: Tracer::disabled(),
             client_url: DetMap::new(),
@@ -972,7 +1273,13 @@ impl ClusterSim {
             let acct = sim.model().params.accounting_cycle;
             let phase = acct.mul_f64(0.37);
             for r in 0..sim.model().rpns.len() {
-                sim.schedule_at(SimTime::ZERO + acct + phase, Ev::AcctTick { rpn: r as u16 });
+                sim.schedule_at(
+                    SimTime::ZERO + acct + phase,
+                    Ev::AcctTick {
+                        rpn: r as u16,
+                        epoch: 0,
+                    },
+                );
             }
         }
         ClusterSim { sim }
@@ -1022,6 +1329,10 @@ impl ClusterSim {
             reg.set_counter(&format!("sub{i}.dropped"), c.dropped);
             reg.set_counter(&format!("sub{i}.dispatched"), c.dispatched);
             reg.set_counter(&format!("sub{i}.completed"), c.completed);
+            reg.set_counter(
+                &format!("sub{i}.failed"),
+                w.metrics[i].failed.total() as u64,
+            );
         }
         for (r, rpn) in w.rpns.iter().enumerate() {
             reg.set_counter(&format!("rpn{r}.completed"), rpn.completed_requests);
@@ -1033,8 +1344,33 @@ impl ClusterSim {
         reg
     }
 
-    /// Schedules a fail-stop crash of `rpn` at the given instant (failure
-    /// injection). The RDN learns of it via the report watchdog.
+    /// Installs a [`FaultPlan`]: schedules its crash/recover events and arms
+    /// its report-loss and link-fault windows. Call before
+    /// [`ClusterSim::run_until`]; one plan per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event names an RPN out of range.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let n = self.sim.model().rpns.len();
+        for ev in plan.events() {
+            match *ev {
+                FaultEvent::Crash { at, rpn } => {
+                    assert!((rpn as usize) < n, "rpn {rpn} out of range");
+                    self.sim.schedule_at(at, Ev::CrashRpn { rpn });
+                }
+                FaultEvent::Recover { at, rpn } => {
+                    assert!((rpn as usize) < n, "rpn {rpn} out of range");
+                    self.sim.schedule_at(at, Ev::RecoverRpn { rpn });
+                }
+            }
+        }
+        self.sim.model_mut().faults.install(plan);
+    }
+
+    /// Schedules a fail-stop crash of `rpn` at the given instant — the
+    /// one-event special case of [`ClusterSim::apply_fault_plan`], kept for
+    /// convenience. The RDN learns of the crash via the report watchdog.
     ///
     /// # Panics
     ///
@@ -1113,6 +1449,7 @@ impl ClusterSim {
                 offered: rate_in_window(&m.offered, from, to),
                 served,
                 dropped: rate_in_window(&m.dropped, from, to),
+                failed: rate_in_window(&m.failed, from, to),
                 mean_latency_ms: m.latency.mean().as_secs_f64() * 1e3,
             });
         }

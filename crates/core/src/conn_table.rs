@@ -52,6 +52,8 @@ pub struct ConnTable {
     /// Upper bound on live entries; `None` means unbounded.
     max_entries: Option<usize>,
     evictions: u64,
+    /// Routes removed by `retain`/`purge_rpn` (node-down cleanup).
+    purged: u64,
     // Interior mutability keeps `lookup` a `&self` read like `contains`;
     // the counters are observability, not table state.
     lookups: Cell<u64>,
@@ -140,6 +142,35 @@ impl ConnTable {
         self.evictions
     }
 
+    /// Keeps only the routes `keep` approves of; removed entries count as
+    /// purges. Iterates the whole table — cleanup path, not per-packet.
+    pub fn retain(&mut self, mut keep: impl FnMut(FourTuple, Route) -> bool) -> usize {
+        let doomed: Vec<FourTuple> = self
+            .map
+            .iter()
+            .filter(|(t, r)| !keep(**t, **r))
+            .map(|(t, _)| *t)
+            .collect();
+        for t in &doomed {
+            self.map.remove(t);
+        }
+        self.purged += doomed.len() as u64;
+        doomed.len()
+    }
+
+    /// Removes every route pointing at `rpn` — RDN cleanup when the
+    /// watchdog writes a node off, so stale splice routes of a dead node
+    /// never bridge packets into the void. Returns how many were purged.
+    pub fn purge_rpn(&mut self, rpn: RpnId) -> usize {
+        self.retain(|_, route| route.rpn != rpn)
+    }
+
+    /// Routes removed by [`ConnTable::retain`]/[`ConnTable::purge_rpn`]
+    /// (distinct from capacity evictions).
+    pub fn purged(&self) -> u64 {
+        self.purged
+    }
+
     /// Publishes the table's observability counters into a metrics
     /// registry under the `conn.` prefix.
     pub fn export_metrics(&self, reg: &mut gage_obs::Registry) {
@@ -148,6 +179,7 @@ impl ConnTable {
         reg.set_counter("conn.lookups", lookups);
         reg.set_counter("conn.hits", hits);
         reg.set_counter("conn.evictions", self.evictions());
+        reg.set_counter("conn.purged", self.purged());
         reg.set_gauge("conn.hit_rate", self.hit_rate());
     }
 }
@@ -280,6 +312,45 @@ mod tests {
         assert_eq!(reg.counter("conn.hits"), Some(1));
         assert_eq!(reg.counter("conn.evictions"), Some(1));
         assert_eq!(reg.gauge("conn.hit_rate"), Some(0.5));
+    }
+
+    #[test]
+    fn purge_rpn_removes_only_dead_routes() {
+        let mut t = ConnTable::new();
+        t.insert(tuple(1), route(1));
+        t.insert(tuple(2), route(2));
+        t.insert(tuple(3), route(1));
+        t.insert(tuple(4), route(3));
+        assert_eq!(t.purge_rpn(RpnId(1)), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.purged(), 2);
+        assert_eq!(t.lookup(tuple(1)), None);
+        assert_eq!(t.lookup(tuple(3)), None);
+        assert_eq!(t.lookup(tuple(2)), Some(route(2)));
+        assert_eq!(t.lookup(tuple(4)), Some(route(3)));
+        // Purging a node with no routes is a no-op.
+        assert_eq!(t.purge_rpn(RpnId(9)), 0);
+        assert_eq!(t.purged(), 2);
+        assert_eq!(t.evictions(), 0, "purges are not capacity evictions");
+    }
+
+    #[test]
+    fn retain_keeps_survivors_in_order() {
+        let mut t = ConnTable::with_max_entries(3);
+        t.insert(tuple(1), route(1));
+        t.insert(tuple(2), route(2));
+        t.insert(tuple(3), route(1));
+        assert_eq!(t.retain(|_, r| r.rpn == RpnId(2)), 2);
+        assert_eq!(t.len(), 1);
+        // Capacity eviction still works on the survivors, oldest first.
+        t.insert(tuple(4), route(4));
+        t.insert(tuple(5), route(5));
+        t.insert(tuple(6), route(6));
+        assert_eq!(t.lookup(tuple(2)), None, "oldest survivor evicted");
+        assert_eq!(t.evictions(), 1);
+        let mut reg = gage_obs::Registry::new();
+        t.export_metrics(&mut reg);
+        assert_eq!(reg.counter("conn.purged"), Some(2));
     }
 
     #[test]

@@ -195,6 +195,22 @@ impl NodeScheduler {
         self.rpns.iter().map(|r| r.capacity_per_sec).sum()
     }
 
+    /// Capacity per second of the nodes currently up — what reservations
+    /// can actually be honoured against. [`ResourceVector::ZERO`] when
+    /// every node is down.
+    pub fn live_capacity_per_sec(&self) -> ResourceVector {
+        self.rpns
+            .iter()
+            .filter(|r| r.up)
+            .map(|r| r.capacity_per_sec)
+            .sum()
+    }
+
+    /// True if at least one node is up.
+    pub fn any_up(&self) -> bool {
+        self.rpns.iter().any(|r| r.up)
+    }
+
     /// Ids of all RPNs.
     pub fn rpn_ids(&self) -> impl Iterator<Item = RpnId> + '_ {
         (0..self.rpns.len()).map(|i| RpnId(i as u16))
@@ -311,5 +327,89 @@ mod tests {
         n.add_rpn(cap());
         let huge = ResourceVector::generic_request() * 1000.0;
         assert_eq!(n.pick_least_loaded(huge), None);
+    }
+
+    #[test]
+    fn live_capacity_tracks_up_nodes() {
+        let mut n = NodeScheduler::new(0.1);
+        let a = n.add_rpn(cap());
+        let b = n.add_rpn(cap() * 3.0);
+        assert_eq!(n.live_capacity_per_sec().cpu_us, 4e6);
+        n.set_up(a, false);
+        assert_eq!(n.live_capacity_per_sec().cpu_us, 3e6);
+        assert_eq!(
+            n.total_capacity_per_sec().cpu_us,
+            4e6,
+            "total ignores liveness"
+        );
+        assert!(n.any_up());
+        n.set_up(b, false);
+        assert_eq!(n.live_capacity_per_sec(), ResourceVector::ZERO);
+        assert!(!n.any_up());
+        n.set_up(a, true);
+        assert_eq!(n.live_capacity_per_sec().cpu_us, 1e6);
+    }
+
+    /// Property test: under randomized churn — `set_up(false)`/`set_up(true)`
+    /// cycles interleaved with dispatches, settles and report re-anchors —
+    /// the scheduler never picks a down node and never leaves any
+    /// outstanding estimate negative.
+    #[test]
+    fn churn_never_picks_down_or_goes_negative() {
+        // Deterministic xorshift so the "random" schedule replays exactly.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut n = NodeScheduler::new(0.1);
+        let ids: Vec<RpnId> = (0..5).map(|_| n.add_rpn(cap())).collect();
+        let pred = ResourceVector::generic_request();
+        for step in 0..5_000u64 {
+            let node = ids[(next() % ids.len() as u64) as usize];
+            match next() % 10 {
+                // Churn: flip liveness both ways, weighted toward recovery
+                // so the cluster is rarely fully dark.
+                0 => n.set_up(node, false),
+                1 | 2 => n.set_up(node, true),
+                // Dispatch through both picking paths.
+                3..=5 => {
+                    if let Some(id) = n.pick_least_loaded(pred) {
+                        assert!(n.is_up(id), "step {step}: picked down node {id}");
+                        n.commit_dispatch(id, pred);
+                    }
+                }
+                6 => {
+                    if let Some(id) = n.pick_least_loaded_any() {
+                        assert!(n.is_up(id), "step {step}: picked down node {id}");
+                        n.commit_dispatch(id, pred);
+                    }
+                }
+                // Settle more than could be outstanding (stale reports).
+                7 => n.settle(node, pred * (next() % 8) as f64),
+                // Report re-anchor, occasionally with a stale negative-ish
+                // vector that must be clamped.
+                _ => {
+                    let level = pred * (next() % 4) as f64 - pred;
+                    n.set_outstanding(node, level);
+                }
+            }
+            for &id in &ids {
+                assert!(
+                    n.outstanding(id).all_nonnegative(),
+                    "step {step}: node {id} outstanding went negative: {:?}",
+                    n.outstanding(id)
+                );
+            }
+        }
+        // Convergence: after churn ends and all nodes recover, dispatching
+        // works again everywhere.
+        for &id in &ids {
+            n.set_up(id, true);
+        }
+        assert!(n.any_up());
+        assert!(n.pick_least_loaded(pred).is_some());
     }
 }

@@ -86,6 +86,30 @@ impl<R> SubscriberQueues<R> {
         Ok(Enqueued::Accepted)
     }
 
+    /// Puts a previously-dequeued request back at the *head* of `sub`'s
+    /// queue (it keeps its place in line). Used when a dispatch bounced off
+    /// a dead node and must be re-scheduled. Does not re-count `accepted` —
+    /// the request was already admitted once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full (after counting the
+    /// drop — the bounced request becomes an ordinary overflow drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` is out of range.
+    pub fn requeue_front(&mut self, sub: SubscriberId, request: R) -> Result<Enqueued, R> {
+        let idx = sub.0 as usize;
+        let q = &mut self.queues[idx];
+        if q.len() >= self.capacity {
+            self.dropped[idx] += 1;
+            return Err(request);
+        }
+        q.push_front(request);
+        Ok(Enqueued::Accepted)
+    }
+
     /// Removes the head of `sub`'s queue.
     pub fn dequeue(&mut self, sub: SubscriberId) -> Option<R> {
         self.queues[sub.0 as usize].pop_front()
@@ -170,6 +194,23 @@ mod tests {
         assert!(q.is_empty(s(1)));
         assert_eq!(q.len(s(2)), 1);
         assert_eq!(q.subscriber_count(), 3);
+    }
+
+    #[test]
+    fn requeue_front_restores_position() {
+        let mut q = SubscriberQueues::new(1, 2);
+        q.enqueue(s(0), 1).unwrap();
+        q.enqueue(s(0), 2).unwrap();
+        let head = q.dequeue(s(0)).unwrap();
+        assert_eq!(head, 1);
+        // A bounced dispatch goes back to the front, not the back.
+        q.requeue_front(s(0), head).unwrap();
+        assert_eq!(q.dequeue(s(0)), Some(1));
+        assert_eq!(q.accepted(s(0)), 2, "requeue does not re-count accepted");
+        // Requeue into a full queue becomes an overflow drop.
+        q.enqueue(s(0), 3).unwrap();
+        assert_eq!(q.requeue_front(s(0), 9), Err(9));
+        assert_eq!(q.dropped(s(0)), 1);
     }
 
     #[test]

@@ -95,6 +95,10 @@ pub struct RequestScheduler<R> {
     tracer: Tracer,
     /// Cycles run since construction, for `SchedCycle` records.
     cycles: u64,
+    /// Graceful-degradation multiplier applied to every reservation this
+    /// cycle: 1.0 while live capacity covers the sum of reservations,
+    /// proportionally less when nodes are down (0.0 if all are).
+    degrade_scale: f64,
 }
 
 impl<R> RequestScheduler<R> {
@@ -127,6 +131,7 @@ impl<R> RequestScheduler<R> {
             completed: vec![0; n],
             tracer: Tracer::disabled(),
             cycles: 0,
+            degrade_scale: 1.0,
         }
     }
 
@@ -177,6 +182,53 @@ impl<R> RequestScheduler<R> {
                 Err(request)
             }
         }
+    }
+
+    /// Puts a dispatched-but-undelivered request back at the *front* of
+    /// `sub`'s queue (it keeps its place in line). Pair with
+    /// [`RequestScheduler::void_dispatch`] to refund the booking first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full — the bounced request
+    /// becomes an ordinary drop the caller owns.
+    pub fn requeue(&mut self, sub: SubscriberId, request: R) -> Result<(), R> {
+        match self.queues.requeue_front(sub, request) {
+            Ok(_) => {
+                self.tracer.emit(TraceEvent::Enqueue {
+                    sub: sub.0,
+                    backlog: self.queues.len(sub) as u32,
+                });
+                Ok(())
+            }
+            Err(request) => {
+                self.tracer.emit(TraceEvent::Drop { sub: sub.0 });
+                Err(request)
+            }
+        }
+    }
+
+    /// Undoes the accounting of a dispatch that never reached its node
+    /// (e.g. the node crashed with the request in flight): refunds the
+    /// subscriber's balance, retires the in-flight prediction and frees the
+    /// node window. The request itself can then be re-queued.
+    pub fn void_dispatch(&mut self, sub: SubscriberId, rpn: RpnId, predicted: ResourceVector) {
+        self.ensure_rpn_arrays();
+        let Some(acc) = self.accounts.get_mut(sub.0 as usize) else {
+            return; // unknown subscriber: nothing was booked
+        };
+        acc.balance += predicted;
+        if let Some(est) = acc.estimated.get_mut(rpn.0 as usize) {
+            *est = (*est - predicted).clamped_nonnegative();
+        }
+        acc.dispatched = acc.dispatched.saturating_sub(1);
+        self.nodes.settle(rpn, predicted);
+    }
+
+    /// The reservation multiplier applied in the last cycle (1.0 = full
+    /// capacity, <1.0 = degraded, 0.0 = no live nodes).
+    pub fn degrade_scale(&self) -> f64 {
+        self.degrade_scale
     }
 
     /// Current backlog of `sub`'s queue.
@@ -239,11 +291,38 @@ impl<R> RequestScheduler<R> {
         }
         let start_len = dispatches.len();
 
+        // ---- Graceful degradation ----
+        // When live capacity no longer covers the sum of reservations
+        // (nodes down), scale every reservation by the same factor so the
+        // shortfall is shared proportionally — relative isolation (Table 1)
+        // survives partial failure instead of starving whichever queue the
+        // round-robin visits last. Recomputed every cycle, so reservations
+        // restore themselves the moment a node rejoins.
+        let scale = if self.nodes.any_up() {
+            let demand: ResourceVector = self
+                .reservations
+                .iter()
+                .map(|r| r.per_second())
+                .fold(ResourceVector::ZERO, |a, b| a + b);
+            let over = demand.max_fraction_of(self.nodes.live_capacity_per_sec());
+            if over > 1.0 {
+                1.0 / over
+            } else {
+                1.0
+            }
+        } else {
+            0.0
+        };
+        if (scale - self.degrade_scale).abs() > 1e-9 {
+            self.tracer.emit(TraceEvent::ReservationScale { scale });
+        }
+        self.degrade_scale = scale;
+
         // ---- Pass 1: reserved credit ----
         for step in 0..n {
             let i = (self.rr_cursor + step) % n;
             let sub = SubscriberId(i as u32);
-            let reservation = self.reservations[i].per_second();
+            let reservation = self.reservations[i].per_second() * scale;
             let cap = reservation * self.cfg.balance_cap_secs;
             {
                 let acc = &mut self.accounts[i];
@@ -753,6 +832,126 @@ mod tests {
         assert_eq!(kinds.iter().filter(|k| **k == "drop").count(), 2);
         assert_eq!(kinds.iter().filter(|k| **k == "dispatch").count(), d.len());
         assert_eq!(kinds.last(), Some(&"sched_cycle"));
+    }
+
+    #[test]
+    fn degraded_reservations_scale_proportionally() {
+        // Two equal subscribers, two nodes, no spare sharing. With one node
+        // down, live capacity (100 GRPS) covers only half the 200 GRPS of
+        // reservations — both queues must degrade to ~50 GRPS each instead
+        // of one starving.
+        let reg = registry(&[100.0, 100.0]);
+        let cfg = SchedulerConfig {
+            spare_policy: SparePolicy::None,
+            ..Default::default()
+        };
+        let mut s: RequestScheduler<u64> =
+            RequestScheduler::new(&reg, cfg, NodeScheduler::new(1.0));
+        let up = s.nodes_mut().add_rpn(capacity());
+        let down = s.nodes_mut().add_rpn(capacity());
+        let a = SubscriberId(0);
+        let b = SubscriberId(1);
+        let run_1s = |s: &mut RequestScheduler<u64>| {
+            let mut got = [0u64; 2];
+            let mut next = 0u64;
+            for _ in 0..100 {
+                for _ in 0..3 {
+                    let _ = s.enqueue(a, next);
+                    let _ = s.enqueue(b, next + 1);
+                    next += 2;
+                }
+                for x in s.run_cycle(0.010) {
+                    got[x.subscriber.0 as usize] += 1;
+                    complete(s, x.subscriber, x.rpn, 1);
+                }
+            }
+            got
+        };
+        let healthy = run_1s(&mut s);
+        assert!((s.degrade_scale() - 1.0).abs() < 1e-9);
+        assert!(
+            healthy.iter().all(|&g| (90..=115).contains(&g)),
+            "healthy {healthy:?}, expected ≈100 each"
+        );
+
+        s.nodes_mut().set_up(down, false);
+        let degraded = run_1s(&mut s);
+        assert!(
+            (s.degrade_scale() - 0.5).abs() < 1e-6,
+            "scale {}",
+            s.degrade_scale()
+        );
+        assert!(
+            degraded.iter().all(|&g| (40..=62).contains(&g)),
+            "degraded {degraded:?}, expected ≈50 each (proportional share)"
+        );
+        let ratio = degraded[0] as f64 / degraded[1] as f64;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "relative isolation broke: {degraded:?}"
+        );
+
+        // Rejoin restores full reservations the next cycle.
+        s.nodes_mut().set_up(down, true);
+        let restored = run_1s(&mut s);
+        assert!((s.degrade_scale() - 1.0).abs() < 1e-9);
+        assert!(
+            restored.iter().all(|&g| (90..=115).contains(&g)),
+            "restored {restored:?}, expected ≈100 each"
+        );
+        let _ = up;
+    }
+
+    #[test]
+    fn all_nodes_down_freezes_reserved_credit() {
+        let mut s = scheduler(&[100.0], 1);
+        let rpn = RpnId(0);
+        s.nodes_mut().set_up(rpn, false);
+        let sub = SubscriberId(0);
+        for r in 0..5 {
+            s.enqueue(sub, r).unwrap();
+        }
+        for _ in 0..50 {
+            assert!(s.run_cycle(0.010).is_empty(), "no live node, no dispatch");
+        }
+        assert_eq!(s.degrade_scale(), 0.0);
+        assert!(
+            s.balance(sub).cpu_us <= 0.0,
+            "no credit hoarded during a full outage"
+        );
+        // Recovery drains the backlog again.
+        s.nodes_mut().set_up(rpn, true);
+        let mut drained = 0;
+        for _ in 0..50 {
+            drained += s.run_cycle(0.010).len();
+        }
+        assert_eq!(drained, 5);
+    }
+
+    #[test]
+    fn void_and_requeue_round_trip() {
+        let mut s = scheduler(&[100.0], 2);
+        let sub = SubscriberId(0);
+        s.enqueue(sub, 42).unwrap();
+        let d = s.run_cycle(0.010);
+        assert_eq!(d.len(), 1);
+        let balance_after = s.balance(sub);
+        let rpn = d[0].rpn;
+        assert!(s.nodes().outstanding(rpn).cpu_us > 0.0);
+
+        // The node crashed with the dispatch in flight: refund + requeue.
+        s.void_dispatch(sub, rpn, d[0].predicted);
+        assert_eq!(s.nodes().outstanding(rpn), ResourceVector::ZERO);
+        assert_eq!(s.balance(sub), balance_after + d[0].predicted);
+        assert_eq!(s.counters(sub).dispatched, 0, "booking undone");
+        s.requeue(sub, d[0].request).unwrap();
+        assert_eq!(s.backlog(sub), 1);
+
+        // The request dispatches again on a later cycle.
+        let d2 = s.run_cycle(0.010);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].request, 42);
+        assert_eq!(s.counters(sub).dispatched, 1);
     }
 
     #[test]

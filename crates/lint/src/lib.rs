@@ -20,6 +20,7 @@
 //! | `obs-no-adhoc-print` | gage-core::scheduler, gage-cluster::sim, gage-net::splice, gage-obs | `print!`, `eprint!`, `stdout()`, `stderr()` (instrumented modules report through `Tracer`/`Registry`) |
 //! | `crate-attrs` | every lib crate | missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
 //! | `float-eq` | gage-core | `==`/`!=` on float literals or resource/credit fields |
+//! | `watchdog-set-up` | everywhere except gage-core::node, gage-cluster::{sim,faults} | `.set_up(` (node-liveness flips outside the watchdog/FaultPlan skip hysteresis and the NodeDown/NodeUp trace) |
 //! | `dep-version` | every `Cargo.toml` | wildcard versions, literal versions outside `[workspace.dependencies]`, duplicated versions |
 //!
 //! Test code (`#[cfg(test)]` blocks), binaries (`src/bin/`, `main.rs`),
@@ -76,6 +77,17 @@ const OBS_MODULES: &[(&str, &[&str])] = &[
     ("gage-cluster", &["sim"]),
     ("gage-net", &["splice"]),
     ("gage-obs", &["ring", "registry", "lib"]),
+];
+
+/// (crate, module stems) allowed to flip node liveness with
+/// `NodeScheduler::set_up`: the node table itself (gage-core::node), the
+/// watchdog (gage-cluster::sim) and the fault-plan machinery
+/// (gage-cluster::faults). Anywhere else a direct call would bypass the
+/// watchdog's grace-period hysteresis and skip the NodeDown/NodeUp trace
+/// records the chaos suite replays.
+const SET_UP_MODULES: &[(&str, &[&str])] = &[
+    ("gage-core", &["node"]),
+    ("gage-cluster", &["sim", "faults"]),
 ];
 
 /// Float-carrying field names whose equality comparison is almost always a
@@ -539,6 +551,18 @@ fn check_line(ctx: &FileContext<'_>, code: &str, emit: &mut dyn FnMut(&'static s
                     .to_string(),
             );
         }
+    }
+
+    let liveness_ok = SET_UP_MODULES
+        .iter()
+        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
+    if !liveness_ok && code.contains(".set_up(") {
+        emit(
+            "watchdog-set-up",
+            "direct node-liveness flip; only the watchdog and FaultPlan modules may \
+             call set_up (transitions must carry NodeDown/NodeUp traces)"
+                .to_string(),
+        );
     }
 
     if ctx.package == "gage-core" && has_float_eq(code) {

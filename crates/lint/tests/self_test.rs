@@ -78,6 +78,12 @@ fn every_rule_trips_on_the_fixture_corpus() {
         "both forbid(unsafe_code) and warn(missing_docs) reported"
     );
     assert!(has(&f, "float-eq", CORE_LIB, 17));
+
+    // node liveness flips outside the watchdog/FaultPlan modules.
+    assert!(
+        has(&f, "watchdog-set-up", CORE_SCHED, 22),
+        "ad-hoc set_up call"
+    );
     assert!(has(&f, "dep-version", "Cargo.toml", 9), "wildcard");
     assert!(has(&f, "dep-version", "crates/core/Cargo.toml", 6));
     assert!(
@@ -106,6 +112,7 @@ fn allowlist_suppresses_each_rule() {
         (CORE_LIB, 25),                   // no-print
         (CORE_SCHED, 7),                  // hot-path-index
         (CORE_SCHED, 18),                 // hot-path-panic
+        (CORE_SCHED, 23),                 // watchdog-set-up
         ("crates/des/src/event.rs", 5),   // hot-path-btree
         ("crates/cluster/src/sim.rs", 7), // obs-no-adhoc-print
     ] {
@@ -129,14 +136,14 @@ fn exemptions_do_not_leak_findings() {
     }
     // The fixture corpus is fully enumerated: any extra finding is a
     // false positive in the engine.
-    assert_eq!(f.len(), 24, "exact fixture finding count: {f:#?}");
+    assert_eq!(f.len(), 25, "exact fixture finding count: {f:#?}");
 }
 
 #[test]
 fn json_report_is_machine_readable() {
     let f = fixture_findings();
     let json = report_json(&f);
-    assert!(json.starts_with("{\"count\":24,\"findings\":["));
+    assert!(json.starts_with("{\"count\":25,\"findings\":["));
     assert!(json.contains("\"rule\":\"hot-path-panic\""));
     assert!(json.contains("\"file\":\"crates/core/src/lib.rs\""));
     let quotes = json.matches('"').count();

@@ -120,6 +120,19 @@ impl Packet {
         )
     }
 
+    /// A connection-aborting RST|ACK (the front end refusing or tearing
+    /// down a connection, e.g. on queue overflow or an unknown host).
+    pub fn rst(src: Endpoint, dst: Endpoint, seq: SeqNum, ack: SeqNum) -> Self {
+        Packet::new(
+            src,
+            dst,
+            seq,
+            ack,
+            TcpFlags::RST | TcpFlags::ACK,
+            Bytes::new(),
+        )
+    }
+
     /// Source endpoint (IP and port).
     pub fn src(&self) -> Endpoint {
         Endpoint::new(self.ip.src, self.tcp.src_port)
@@ -302,6 +315,9 @@ mod tests {
         assert!(sa.is_syn() && sa.is_ack());
         assert!(Packet::fin(c, s, SeqNum::new(9), SeqNum::new(9)).is_fin());
         assert!(!Packet::ack(c, s, SeqNum::new(1), SeqNum::new(1)).is_syn());
+        let rst = Packet::rst(s, c, SeqNum::new(3), SeqNum::new(4));
+        assert!(rst.is_rst() && rst.is_ack() && !rst.is_syn());
+        assert!(!Packet::ack(c, s, SeqNum::new(1), SeqNum::new(1)).is_rst());
     }
 
     #[test]

@@ -96,6 +96,68 @@ pub enum TraceEvent {
         /// Estimated load fraction of the node's dispatch window, `[0, 1+]`.
         load: f64,
     },
+    /// The report watchdog wrote a node off (no report within the grace
+    /// window) and the scheduler stopped dispatching to it.
+    NodeDown {
+        /// The node written off.
+        rpn: u16,
+    },
+    /// A written-off node's report arrived again and the scheduler resumed
+    /// dispatching to it (the watchdog's symmetric up-path).
+    NodeUp {
+        /// The node readmitted.
+        rpn: u16,
+    },
+    /// A fault plan (or `schedule_rpn_crash`) fail-stopped an RPN: all its
+    /// in-flight work is lost and its accounting chain goes silent.
+    RpnCrash {
+        /// The crashed node.
+        rpn: u16,
+    },
+    /// A fault plan rebooted a crashed RPN: cold caches, fresh process
+    /// table, accounting chain restarted.
+    RpnRecover {
+        /// The recovered node.
+        rpn: u16,
+    },
+    /// A client request timed out and is being retried on a new connection
+    /// (bounded deterministic backoff).
+    RequestRetry {
+        /// The owning subscriber.
+        sub: u32,
+        /// Retry attempt number just started (1 = first retry).
+        attempt: u32,
+    },
+    /// A client request exhausted its retries and terminally failed — the
+    /// third conservation bucket next to served and dropped.
+    RequestFailed {
+        /// The owning subscriber.
+        sub: u32,
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// The RDN purged a written-off node's splice routes from its
+    /// connection table.
+    RoutesPurged {
+        /// The node whose routes were removed.
+        rpn: u16,
+        /// Entries removed.
+        count: u32,
+    },
+    /// A dispatch addressed to a dead node was intercepted and re-queued at
+    /// the front of its subscriber's queue (its booking refunded).
+    DispatchRequeued {
+        /// The owning subscriber.
+        sub: u32,
+        /// The dead node the dispatch was bound for.
+        rpn: u16,
+    },
+    /// The scheduler re-scaled effective reservations because live capacity
+    /// fell below (or recovered to cover) the sum of reservations.
+    ReservationScale {
+        /// Multiplier applied to every reservation this cycle, `(0, 1]`.
+        scale: f64,
+    },
 }
 
 impl TraceEvent {
@@ -110,6 +172,15 @@ impl TraceEvent {
             TraceEvent::SpliceTeardown { .. } => "splice_teardown",
             TraceEvent::AcctReport { .. } => "acct_report",
             TraceEvent::NodeLoad { .. } => "node_load",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::RpnCrash { .. } => "rpn_crash",
+            TraceEvent::RpnRecover { .. } => "rpn_recover",
+            TraceEvent::RequestRetry { .. } => "request_retry",
+            TraceEvent::RequestFailed { .. } => "request_failed",
+            TraceEvent::RoutesPurged { .. } => "routes_purged",
+            TraceEvent::DispatchRequeued { .. } => "dispatch_requeue",
+            TraceEvent::ReservationScale { .. } => "reservation_scale",
         }
     }
 
@@ -118,7 +189,10 @@ impl TraceEvent {
         match self {
             TraceEvent::Dispatch { sub, .. }
             | TraceEvent::Enqueue { sub, .. }
-            | TraceEvent::Drop { sub } => Some(*sub),
+            | TraceEvent::Drop { sub }
+            | TraceEvent::RequestRetry { sub, .. }
+            | TraceEvent::RequestFailed { sub, .. }
+            | TraceEvent::DispatchRequeued { sub, .. } => Some(*sub),
             _ => None,
         }
     }
@@ -184,6 +258,23 @@ impl TraceEvent {
             TraceEvent::NodeLoad { rpn, load } => {
                 vec![("rpn", Json::from(rpn)), ("load", Json::from(load))]
             }
+            TraceEvent::NodeDown { rpn }
+            | TraceEvent::NodeUp { rpn }
+            | TraceEvent::RpnCrash { rpn }
+            | TraceEvent::RpnRecover { rpn } => vec![("rpn", Json::from(rpn))],
+            TraceEvent::RequestRetry { sub, attempt } => {
+                vec![("sub", Json::from(sub)), ("attempt", Json::from(attempt))]
+            }
+            TraceEvent::RequestFailed { sub, attempts } => {
+                vec![("sub", Json::from(sub)), ("attempts", Json::from(attempts))]
+            }
+            TraceEvent::RoutesPurged { rpn, count } => {
+                vec![("rpn", Json::from(rpn)), ("count", Json::from(count))]
+            }
+            TraceEvent::DispatchRequeued { sub, rpn } => {
+                vec![("sub", Json::from(sub)), ("rpn", Json::from(rpn))]
+            }
+            TraceEvent::ReservationScale { scale } => vec![("scale", Json::from(scale))],
         }
     }
 }
@@ -494,7 +585,7 @@ mod tests {
 
     #[test]
     fn every_kind_dumps_and_parses() {
-        let mut r = TraceRing::new(16);
+        let mut r = TraceRing::new(32);
         let events = [
             TraceEvent::SchedCycle {
                 cycle: 1,
@@ -527,6 +618,18 @@ mod tests {
                 completed: 11,
             },
             TraceEvent::NodeLoad { rpn: 2, load: 0.75 },
+            TraceEvent::NodeDown { rpn: 1 },
+            TraceEvent::NodeUp { rpn: 1 },
+            TraceEvent::RpnCrash { rpn: 1 },
+            TraceEvent::RpnRecover { rpn: 1 },
+            TraceEvent::RequestRetry { sub: 2, attempt: 1 },
+            TraceEvent::RequestFailed {
+                sub: 2,
+                attempts: 3,
+            },
+            TraceEvent::RoutesPurged { rpn: 1, count: 17 },
+            TraceEvent::DispatchRequeued { sub: 2, rpn: 1 },
+            TraceEvent::ReservationScale { scale: 0.5 },
         ];
         for (i, e) in events.iter().enumerate() {
             r.push(SimTime::from_millis(i as u64), *e);

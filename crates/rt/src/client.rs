@@ -24,8 +24,13 @@ pub struct ClientConfig {
     pub duration: Duration,
     /// Response size to request.
     pub size: u64,
-    /// Per-request timeout.
+    /// Per-attempt timeout; attempt `n` waits `timeout × backoff^n`.
     pub timeout: Duration,
+    /// Retries after the first attempt on connect errors and timeouts
+    /// (definitive refusals — 503s — are never retried). 0 disables.
+    pub retries: u32,
+    /// Deterministic timeout growth factor per retry.
+    pub backoff: f64,
 }
 
 impl ClientConfig {
@@ -38,6 +43,8 @@ impl ClientConfig {
             duration: Duration::from_secs(5),
             size: 6 * 1024,
             timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: 2.0,
         }
     }
 }
@@ -51,8 +58,12 @@ pub struct LoadStats {
     pub ok: u64,
     /// 503 responses (dropped by the front end).
     pub dropped: u64,
-    /// Other failures (connect errors, timeouts, non-200/503).
+    /// Other failures (connect errors, timeouts, non-200/503) after all
+    /// retries were exhausted.
     pub errors: u64,
+    /// Retry attempts issued (a request that succeeds on its second
+    /// attempt counts one retry and one ok).
+    pub retries: u64,
     /// Total body bytes received.
     pub bytes: u64,
     /// Sum of latencies of `ok` responses.
@@ -120,8 +131,10 @@ pub fn run_load(cfg: ClientConfig) -> LoadStats {
         let cfg = cfg.clone();
         workers.push(std::thread::spawn(move || {
             let started = Instant::now();
-            let outcome = one_request(&cfg);
-            stats.lock().record(started, outcome);
+            let (outcome, retried) = request_with_retries(&cfg);
+            let mut s = stats.lock();
+            s.retries += retried;
+            s.record(started, outcome);
         }));
     }
     for w in workers {
@@ -129,6 +142,25 @@ pub fn run_load(cfg: ClientConfig) -> LoadStats {
     }
     let final_stats = stats.lock().clone();
     final_stats
+}
+
+/// Issues one logical request with up to `cfg.retries` retries under
+/// deterministic backoff: attempt `n` gets a `timeout × backoff^n`
+/// deadline. Definitive responses (any HTTP status) stop the loop; only
+/// transport errors — connect failures, timeouts — are retried. Returns
+/// the final outcome and how many retries were used.
+fn request_with_retries(cfg: &ClientConfig) -> (std::io::Result<(u16, u64)>, u64) {
+    let mut retried = 0;
+    loop {
+        let timeout = cfg
+            .timeout
+            .mul_f64(cfg.backoff.max(1.0).powi(retried as i32));
+        let outcome = timed_request(cfg.target, "/load", &cfg.host, cfg.size, timeout);
+        if outcome.is_ok() || retried >= u64::from(cfg.retries) {
+            return (outcome, retried);
+        }
+        retried += 1;
+    }
 }
 
 /// Replays a [`gage_workload::Trace`] open-loop against `target`: each
@@ -183,13 +215,22 @@ fn timed_request(
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
-fn one_request(cfg: &ClientConfig) -> std::io::Result<(u16, u64)> {
-    timed_request(cfg.target, "/load", &cfg.host, cfg.size, cfg.timeout)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retries_give_up_against_dead_target() {
+        // Nothing listens on a reserved port: every attempt fails fast with
+        // a connect error, so the loop runs all retries then reports one
+        // terminal error.
+        let mut cfg = ClientConfig::new("127.0.0.1:1".parse().unwrap(), "site", 1.0);
+        cfg.timeout = Duration::from_millis(50);
+        cfg.retries = 2;
+        let (outcome, retried) = request_with_retries(&cfg);
+        assert!(outcome.is_err());
+        assert_eq!(retried, 2);
+    }
 
     #[test]
     fn stats_math() {

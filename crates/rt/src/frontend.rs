@@ -55,6 +55,10 @@ pub struct FrontendConfig {
     /// Retained trace-record count for gage-obs tracing; `None` disables
     /// tracing entirely (the hot path then pays a single branch).
     pub trace_capacity: Option<usize>,
+    /// Deadline for reading a client's request head. A client that
+    /// connects and then stalls is answered 408 and disconnected instead
+    /// of pinning an accept thread forever.
+    pub client_read_timeout: Duration,
 }
 
 impl FrontendConfig {
@@ -68,6 +72,7 @@ impl FrontendConfig {
             scheduler: SchedulerConfig::default(),
             backend_capacity: ResourceVector::new(1e6, 1e6, 12.5e6),
             trace_capacity: None,
+            client_read_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -162,6 +167,7 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
         let scheduler = Arc::clone(&scheduler);
         let registry = Arc::clone(&registry);
         let stop = Arc::clone(&stop);
+        let read_timeout = cfg.client_read_timeout;
         std::thread::spawn(move || loop {
             let Ok((stream, _)) = listener.accept() else {
                 break;
@@ -172,7 +178,7 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
             let scheduler = Arc::clone(&scheduler);
             let registry = Arc::clone(&registry);
             std::thread::spawn(move || {
-                let _ = classify_and_enqueue(stream, &scheduler, &registry);
+                let _ = classify_and_enqueue(stream, &scheduler, &registry, read_timeout);
             });
         });
     }
@@ -238,11 +244,27 @@ fn classify_and_enqueue(
     mut stream: TcpStream,
     scheduler: &SharedScheduler,
     registry: &SubscriberRegistry,
+    read_timeout: Duration,
 ) -> std::io::Result<()> {
-    let Ok((head, _rest)) = read_request_head(&mut stream) else {
-        let _ = write_error_response(&mut stream, "400 Bad Request");
-        return Ok(());
+    // Bound the head read: a stalled or byte-dribbling client is turned
+    // away instead of holding this thread (and its connection slot) open.
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let head = match read_request_head(&mut stream) {
+        Ok((head, _rest)) => head,
+        Err(crate::http::HttpError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            let _ = write_error_response(&mut stream, "408 Request Timeout");
+            return Ok(());
+        }
+        Err(_) => {
+            let _ = write_error_response(&mut stream, "400 Bad Request");
+            return Ok(());
+        }
     };
+    // The head is in; splice relies on blocking reads from here on.
+    let _ = stream.set_read_timeout(None);
     let Some(host) = head.host() else {
         let _ = write_error_response(&mut stream, "400 Bad Request");
         return Ok(());
