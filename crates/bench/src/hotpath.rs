@@ -444,6 +444,53 @@ fn bench_cluster_sim(quick: bool, points: &mut Vec<BenchPoint>) {
     points.push(point("trace_overhead", "overhead_pct", overhead_pct, true));
 }
 
+// --------------------------------------------------------- audit replay
+
+/// Offline audit throughput: folds a traced run's dump back into
+/// per-request spans plus windowed conformance stats
+/// ([`gage_obs::audit::audit_dump`] — the whole `gage-audit` pipeline).
+/// Reported as requests audited per wall-clock second; this bounds how
+/// large a trace the conformance sweep can digest, not the simulator
+/// itself.
+fn bench_audit_reconstruct(quick: bool, points: &mut Vec<BenchPoint>) {
+    let horizon = if quick { 2.0 } else { 6.0 };
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut gen = SyntheticGenerator::new(2_000, 1);
+    let trace = Trace::generate(
+        "audit.example.com",
+        ArrivalProcess::Poisson { rate: 1_000.0 },
+        horizon,
+        &mut gen,
+        &mut rng,
+    );
+    let sites = vec![SiteSpec {
+        host: "audit.example.com".into(),
+        reservation: Grps(1_100.0),
+        trace,
+    }];
+    let params = ClusterParams {
+        rpn_count: 4,
+        service: ServiceCostModel::generic_requests(),
+        ..Default::default()
+    };
+    let mut sim = ClusterSim::new(params, sites, 42);
+    sim.enable_tracing(1 << 18);
+    sim.run_until(SimTime::from_secs(horizon as u64 + 4));
+    let dump = sim.trace_dump().unwrap_or_default();
+    let rounds = if quick { 2 } else { 3 };
+    let mut best: f64 = 0.0;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        let report = gage_obs::audit::audit_dump(&dump, &gage_obs::audit::AuditConfig::default())
+            .expect("bench dump audits cleanly");
+        let wall = started.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            best = best.max(report.requests as f64 / wall);
+        }
+    }
+    points.push(point("audit_reconstruct", "reqs_per_sec", best, false));
+}
+
 /// Runs the full suite. `quick` shrinks sample counts and the simulated
 /// horizon for the CI smoke job; benchmark names and shapes are identical.
 pub fn run(quick: bool) -> HotpathReport {
@@ -453,6 +500,7 @@ pub fn run(quick: bool) -> HotpathReport {
     }
     bench_event_churn(quick, 10_000, &mut points);
     bench_cluster_sim(quick, &mut points);
+    bench_audit_reconstruct(quick, &mut points);
     HotpathReport { points }
 }
 
@@ -524,6 +572,7 @@ mod tests {
             "cluster_sim",
             "cluster_sim_traced",
             "trace_overhead",
+            "audit_reconstruct",
         ] {
             assert!(names.contains(&expect), "missing {expect} in {names:?}");
         }

@@ -31,6 +31,13 @@ pub struct SubscriberMetrics {
     pub observed_completions: BinnedSeries,
     /// End-to-end latency of completed requests.
     pub latency: DurationHistogram,
+    /// End-to-end latency of completed requests in milliseconds, in the
+    /// registry's deterministic log2-bucket histogram (p50/p95/p99 via
+    /// [`gage_obs::Histogram::quantile`]).
+    pub latency_ms: gage_obs::Histogram,
+    /// RDN queue wait (enqueue → dispatch) of dispatched request attempts,
+    /// milliseconds, same bucket scheme.
+    pub queue_wait_ms: gage_obs::Histogram,
 }
 
 impl Default for SubscriberMetrics {
@@ -43,6 +50,8 @@ impl Default for SubscriberMetrics {
             observed_usage: BinnedSeries::new(METRIC_BIN),
             observed_completions: BinnedSeries::new(METRIC_BIN),
             latency: DurationHistogram::new(),
+            latency_ms: gage_obs::Histogram::default(),
+            queue_wait_ms: gage_obs::Histogram::default(),
         }
     }
 }

@@ -83,6 +83,8 @@ pub struct SiteSpec {
 #[derive(Debug, Clone)]
 pub struct DispatchMeta {
     sub: SubscriberId,
+    /// Run-wide logical request id (stable across retries).
+    req: u64,
     predicted: ResourceVector,
     rdn_isn: SeqNum,
     path: String,
@@ -93,10 +95,31 @@ pub struct DispatchMeta {
 #[derive(Debug, Clone)]
 struct PendingRequest {
     conn: FourTuple,
+    /// Run-wide logical request id (stable across retries).
+    req: u64,
     url_pkt: Packet,
     rdn_isn: SeqNum,
     path: String,
     size: u64,
+    /// When this request (re-)entered the scheduler queue, for the
+    /// queue-wait histogram.
+    enqueued_at: SimTime,
+}
+
+impl gage_core::scheduler::TraceTag for PendingRequest {
+    fn trace_tag(&self) -> u64 {
+        self.req
+    }
+}
+
+/// What an outstanding client connection is requesting.
+#[derive(Debug, Clone)]
+struct UrlInfo {
+    path: String,
+    size: u64,
+    host: String,
+    /// Run-wide logical request id (stable across retries).
+    req: u64,
 }
 
 /// Cluster events (public only because [`World`] implements
@@ -146,6 +169,8 @@ pub enum Ev {
 #[derive(Debug)]
 struct ActiveReq {
     sub: SubscriberId,
+    /// Run-wide logical request id (stable across retries).
+    req: u64,
     predicted: ResourceVector,
     splice: SpliceMap,
     size: u64,
@@ -220,10 +245,13 @@ pub struct World {
     pending_handshakes: DetMap<FourTuple, SeqNum>,
     rpns: Vec<Rpn>,
     clients: Vec<ClientSide>,
-    /// What each outstanding connection is requesting: (path, size, host).
-    client_url: DetMap<FourTuple, (String, u64, String)>,
+    /// What each outstanding connection is requesting.
+    client_url: DetMap<FourTuple, UrlInfo>,
     rr_next: usize,
     isn_counter: u32,
+    /// Next run-wide logical request id. Assigned unconditionally at issue
+    /// time (traced or not) so tracing never perturbs behaviour.
+    next_req: u64,
     /// Per-subscriber measurement series.
     pub metrics: Vec<SubscriberMetrics>,
     /// RDN measurement state.
@@ -298,10 +326,18 @@ impl World {
 
     fn on_issue(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, idx: u32) {
         let entry = &self.traces[sub as usize].entries[idx as usize];
-        let url = (entry.path.clone(), entry.size_bytes, entry.host.clone());
+        let req = self.next_req;
+        self.next_req += 1;
+        let url = UrlInfo {
+            path: entry.path.clone(),
+            size: entry.size_bytes,
+            host: entry.host.clone(),
+            req,
+        };
         // `offered` counts logical requests once; retries re-send without
         // re-counting, so offered == served + dropped + failed holds exactly.
         self.metrics[sub as usize].offered.record(ctx.now(), 1.0);
+        self.tracer.emit(TraceEvent::ReqArrival { sub, req });
         let first_issued = ctx.now();
         self.issue_request(ctx, sub, url, first_issued, 0);
     }
@@ -313,7 +349,7 @@ impl World {
         &mut self,
         ctx: &mut Context<'_, Ev>,
         sub: u32,
-        url: (String, u64, String),
+        url: UrlInfo,
         first_issued: SimTime,
         attempt: u32,
     ) {
@@ -354,11 +390,13 @@ impl World {
         }
         self.clients[sub as usize].pending.remove(&conn);
         let url = self.client_url.remove(&conn);
+        let req = url.as_ref().map_or(0, |u| u.req);
         let retry = self.params.client_retry;
         if attempt < retry.max_retries {
             if let Some(url) = url {
                 self.tracer.emit(TraceEvent::RequestRetry {
                     sub,
+                    req,
                     attempt: attempt + 1,
                 });
                 self.issue_request(ctx, sub, url, entry.first_issued, attempt + 1);
@@ -369,6 +407,7 @@ impl World {
         self.metrics[sub as usize].failed.record(ctx.now(), 1.0);
         self.tracer.emit(TraceEvent::RequestFailed {
             sub,
+            req,
             attempts: attempt + 1,
         });
     }
@@ -379,11 +418,15 @@ impl World {
         // the retry timer never fires for it.
         if pkt.is_rst() {
             let conn = FourTuple::new(pkt.dst(), self.cluster_ep);
+            let url = self.client_url.remove(&conn);
             if let Some(entry) = self.clients[sub as usize].pending.remove(&conn) {
                 ctx.cancel(entry.timeout);
                 self.metrics[sub as usize].dropped.record(ctx.now(), 1.0);
+                self.tracer.emit(TraceEvent::ReqDropped {
+                    sub,
+                    req: url.map_or(0, |u| u.req),
+                });
             }
-            self.client_url.remove(&conn);
             return;
         }
         // Only SYN-ACKs reach clients as discrete packets; reply with the
@@ -398,10 +441,18 @@ impl World {
         }
         let client_isn = pkt.tcp.ack - 1u32;
         let ack = Packet::ack(client_ep, self.cluster_ep, pkt.tcp.ack, pkt.tcp.seq + 1);
-        let Some((path, size, host)) = self.client_url.get(&conn).cloned() else {
+        let Some(UrlInfo {
+            path,
+            size,
+            host,
+            req,
+        }) = self.client_url.get(&conn).cloned()
+        else {
             return; // stale handshake for a forgotten request
         };
-        let http = format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nX-Size: {size}\r\n\r\n");
+        let http = format!(
+            "GET {path} HTTP/1.0\r\nHost: {host}\r\nX-Size: {size}\r\nX-Req: {req}\r\n\r\n"
+        );
         let url = Packet::data(
             client_ep,
             self.cluster_ep,
@@ -415,13 +466,20 @@ impl World {
     }
 
     fn on_response_arrive(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
+        let url = self.client_url.remove(&conn);
         if let Some(entry) = self.clients[sub as usize].pending.remove(&conn) {
             ctx.cancel(entry.timeout);
             let latency = ctx.now().saturating_since(entry.first_issued);
             self.metrics[sub as usize].served.record(ctx.now(), 1.0);
             self.metrics[sub as usize].latency.record(latency);
+            self.metrics[sub as usize]
+                .latency_ms
+                .observe(latency.as_secs_f64() * 1e3);
+            self.tracer.emit(TraceEvent::ReqServed {
+                sub,
+                req: url.map_or(0, |u| u.req),
+            });
         }
-        self.client_url.remove(&conn);
     }
 
     // ---- RDN ----
@@ -512,6 +570,7 @@ impl World {
                     return;
                 };
                 let size = x_size_hint(&pkt).unwrap_or(6 * 1024);
+                let req_id = x_req_hint(&pkt).unwrap_or(0);
                 let conn = pkt.four_tuple();
                 let rdn_isn = self
                     .pending_handshakes
@@ -519,10 +578,12 @@ impl World {
                     .unwrap_or(SeqNum::new(1));
                 let req = PendingRequest {
                     conn,
+                    req: req_id,
                     url_pkt: pkt,
                     rdn_isn,
                     path: info.path,
                     size,
+                    enqueued_at: ctx.now(),
                 };
                 match self.params.mode {
                     GageMode::Enabled => {
@@ -559,8 +620,11 @@ impl World {
             },
         );
         self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.forwarding_us);
+        let wait_ms = ctx.now().saturating_since(req.enqueued_at).as_secs_f64() * 1e3;
+        self.metrics[sub.0 as usize].queue_wait_ms.observe(wait_ms);
         let meta = DispatchMeta {
             sub,
+            req: req.req,
             predicted,
             rdn_isn: req.rdn_isn,
             path: req.path,
@@ -702,6 +766,7 @@ impl World {
             rpn.ip,
             meta.rdn_isn,
             SeqNum::new(rpn.isn_counter),
+            meta.req,
             &self.tracer,
         );
         let disk_us = match self.params.service.disk {
@@ -734,6 +799,7 @@ impl World {
             conn,
             ActiveReq {
                 sub: meta.sub,
+                req: meta.req,
                 predicted: meta.predicted,
                 splice,
                 size: meta.size,
@@ -775,14 +841,17 @@ impl World {
                     .void_dispatch(meta.sub, RpnId(rpn_idx), meta.predicted);
                 self.tracer.emit(TraceEvent::DispatchRequeued {
                     sub: meta.sub.0,
+                    req: meta.req,
                     rpn: rpn_idx,
                 });
                 let req = PendingRequest {
                     conn,
+                    req: meta.req,
                     url_pkt: pkt,
                     rdn_isn: meta.rdn_isn,
                     path: meta.path,
                     size: meta.size,
+                    enqueued_at: ctx.now(),
                 };
                 if let Err(req) = self.scheduler.requeue(meta.sub, req) {
                     self.refuse_with_rst(ctx, meta.sub.0, &req.url_pkt);
@@ -881,7 +950,12 @@ impl World {
             (conn, req)
         };
         let sub = req.sub;
-        req.splice.trace_teardown(&self.tracer);
+        req.splice.trace_teardown(req.req, &self.tracer);
+        self.tracer.emit(TraceEvent::ReqComplete {
+            sub: sub.0,
+            req: req.req,
+            rpn: rpn_idx,
+        });
         let actual = ResourceVector::new(req.cpu_us, req.disk_us, req.net_bytes);
 
         // Charge the owning process (the worker, or the CGI child for
@@ -1107,6 +1181,16 @@ fn x_size_hint(pkt: &Packet) -> Option<u64> {
         .and_then(|v| v.trim().parse().ok())
 }
 
+/// Extracts the `X-Req` run-wide request id the simulated clients embed in
+/// their requests, threading each dispatch into its request's causal
+/// timeline (the id is stable across retries).
+fn x_req_hint(pkt: &Packet) -> Option<u64> {
+    let text = std::str::from_utf8(&pkt.payload).ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("X-Req: "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
 impl Model for World {
     type Event = Ev;
 
@@ -1225,6 +1309,7 @@ impl ClusterSim {
                 .collect(),
             rr_next: 0,
             isn_counter: 1,
+            next_req: 0,
             metrics: (0..n_sites).map(|_| SubscriberMetrics::default()).collect(),
             rdn_metrics: RdnMetrics::default(),
             unknown_host_drops: 0,
@@ -1299,10 +1384,22 @@ impl ClusterSim {
     ///
     /// Panics if `capacity` is zero.
     pub fn enable_tracing(&mut self, capacity: usize) {
+        let now = self.sim.now();
         let tracer = Tracer::enabled(capacity);
         let world = self.sim.model_mut();
         world.scheduler.set_tracer(tracer.clone());
         world.tracer = tracer;
+        // One `Reservation` record per subscriber up front, so dumps are
+        // self-describing for the conformance auditor.
+        world.tracer.set_now(now);
+        for i in 0..world.registry.len() {
+            let sub = SubscriberId(i as u32);
+            let grps = world.registry.get(sub).expect("registered").reservation.0;
+            world.tracer.emit(TraceEvent::Reservation {
+                sub: i as u32,
+                grps,
+            });
+        }
     }
 
     /// Serializes the trace ring (see [`gage_obs::TraceRing::dump`]);
@@ -1332,6 +1429,14 @@ impl ClusterSim {
             reg.set_counter(
                 &format!("sub{i}.failed"),
                 w.metrics[i].failed.total() as u64,
+            );
+            reg.set_histogram(
+                &format!("sub{i}.latency_ms"),
+                w.metrics[i].latency_ms.clone(),
+            );
+            reg.set_histogram(
+                &format!("sub{i}.queue_wait_ms"),
+                w.metrics[i].queue_wait_ms.clone(),
             );
         }
         for (r, rpn) in w.rpns.iter().enumerate() {

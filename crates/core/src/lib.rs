@@ -69,6 +69,6 @@ pub mod prelude {
     pub use crate::node::{NodeScheduler, RpnId};
     pub use crate::queue::SubscriberQueues;
     pub use crate::resource::{Grps, ResourceVector};
-    pub use crate::scheduler::{Dispatch, RequestScheduler, SubscriberCounters};
+    pub use crate::scheduler::{Dispatch, RequestScheduler, SubscriberCounters, TraceTag};
     pub use crate::subscriber::{Subscriber, SubscriberId, SubscriberRegistry};
 }

@@ -28,6 +28,49 @@ use crate::resource::{Grps, ResourceVector};
 use crate::subscriber::{SubscriberId, SubscriberRegistry};
 use gage_obs::{TraceEvent, Tracer};
 
+/// Request payloads that can stamp a run-wide request id into trace
+/// records.
+///
+/// The scheduler is generic over its request payload `R`; to thread
+/// per-request identity into its `Enqueue`/`Drop`/`Dispatch` emissions it
+/// asks the payload for a scalar tag. Payload types without a natural id
+/// (unit, borrowed strings in doc examples) return 0 — the span
+/// reconstructor treats id 0 from such emitters as anonymous.
+pub trait TraceTag {
+    /// The request's run-wide id for trace records.
+    fn trace_tag(&self) -> u64;
+}
+
+impl TraceTag for u64 {
+    fn trace_tag(&self) -> u64 {
+        *self
+    }
+}
+
+impl TraceTag for u32 {
+    fn trace_tag(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+
+impl TraceTag for usize {
+    fn trace_tag(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl TraceTag for () {
+    fn trace_tag(&self) -> u64 {
+        0
+    }
+}
+
+impl TraceTag for &str {
+    fn trace_tag(&self) -> u64 {
+        0
+    }
+}
+
 /// One dispatch decision: which request goes to which RPN, with the
 /// prediction the accounting books were charged with.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,7 +144,7 @@ pub struct RequestScheduler<R> {
     degrade_scale: f64,
 }
 
-impl<R> RequestScheduler<R> {
+impl<R: TraceTag> RequestScheduler<R> {
     /// Builds a scheduler for the subscribers in `registry`.
     ///
     /// # Panics
@@ -169,16 +212,18 @@ impl<R> RequestScheduler<R> {
     /// Returns the request back if `sub`'s queue is full — the caller owns
     /// the drop (sending a RST, counting it, …).
     pub fn enqueue(&mut self, sub: SubscriberId, request: R) -> Result<(), R> {
+        let req = request.trace_tag();
         match self.queues.enqueue(sub, request) {
             Ok(_) => {
                 self.tracer.emit(TraceEvent::Enqueue {
                     sub: sub.0,
+                    req,
                     backlog: self.queues.len(sub) as u32,
                 });
                 Ok(())
             }
             Err(request) => {
-                self.tracer.emit(TraceEvent::Drop { sub: sub.0 });
+                self.tracer.emit(TraceEvent::Drop { sub: sub.0, req });
                 Err(request)
             }
         }
@@ -193,16 +238,18 @@ impl<R> RequestScheduler<R> {
     /// Returns the request back if the queue is full — the bounced request
     /// becomes an ordinary drop the caller owns.
     pub fn requeue(&mut self, sub: SubscriberId, request: R) -> Result<(), R> {
+        let req = request.trace_tag();
         match self.queues.requeue_front(sub, request) {
             Ok(_) => {
                 self.tracer.emit(TraceEvent::Enqueue {
                     sub: sub.0,
+                    req,
                     backlog: self.queues.len(sub) as u32,
                 });
                 Ok(())
             }
             Err(request) => {
-                self.tracer.emit(TraceEvent::Drop { sub: sub.0 });
+                self.tracer.emit(TraceEvent::Drop { sub: sub.0, req });
                 Err(request)
             }
         }
@@ -229,6 +276,13 @@ impl<R> RequestScheduler<R> {
     /// capacity, <1.0 = degraded, 0.0 = no live nodes).
     pub fn degrade_scale(&self) -> f64 {
         self.degrade_scale
+    }
+
+    /// Scheduling cycles run since construction — the window clock the
+    /// conformance auditor maps violation intervals onto (each cycle also
+    /// stamps its number into its `SchedCycle` trace record).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
     }
 
     /// Current backlog of `sub`'s queue.
@@ -348,6 +402,7 @@ impl<R> RequestScheduler<R> {
                 self.nodes.commit_dispatch(rpn, predicted);
                 self.tracer.emit(TraceEvent::Dispatch {
                     sub: sub.0,
+                    req: request.trace_tag(),
                     rpn: rpn.0,
                     spare: false,
                     predicted_cpu_us: predicted.cpu_us,
@@ -453,6 +508,7 @@ impl<R> RequestScheduler<R> {
                 any = true;
                 self.tracer.emit(TraceEvent::Dispatch {
                     sub: sub.0,
+                    req: request.trace_tag(),
                     rpn: rpn.0,
                     spare: true,
                     predicted_cpu_us: predicted.cpu_us,

@@ -1,0 +1,15 @@
+//! Fixture: the span reconstructor must enumerate every TraceKind variant.
+
+pub fn classify(kind: &str) -> u32 {
+    match kind {
+        "req_served" => 1,
+        _ => 0,
+    }
+}
+
+pub fn classify_allowed(kind: &str) -> u32 {
+    match kind {
+        "req_served" => 1,
+        _ => 0, // lint:allow(trace-kind-exhaustive)
+    }
+}

@@ -21,6 +21,7 @@
 //! | `crate-attrs` | every lib crate | missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` |
 //! | `float-eq` | gage-core | `==`/`!=` on float literals or resource/credit fields |
 //! | `watchdog-set-up` | everywhere except gage-core::node, gage-cluster::{sim,faults} | `.set_up(` (node-liveness flips outside the watchdog/FaultPlan skip hysteresis and the NodeDown/NodeUp trace) |
+//! | `trace-kind-exhaustive` | gage-obs::spans | wildcard `_ =>` match arms (the span reconstructor must handle every `TraceKind` variant explicitly so new kinds fail to compile, not silently vanish from timelines) |
 //! | `dep-version` | every `Cargo.toml` | wildcard versions, literal versions outside `[workspace.dependencies]`, duplicated versions |
 //!
 //! Test code (`#[cfg(test)]` blocks), binaries (`src/bin/`, `main.rs`),
@@ -76,8 +77,15 @@ const OBS_MODULES: &[(&str, &[&str])] = &[
     ("gage-core", &["scheduler"]),
     ("gage-cluster", &["sim"]),
     ("gage-net", &["splice"]),
-    ("gage-obs", &["ring", "registry", "lib"]),
+    ("gage-obs", &["ring", "registry", "lib", "spans", "audit"]),
 ];
+
+/// (crate, module stems) that fold raw trace records back into structured
+/// timelines. These must match every `TraceKind` variant explicitly: a
+/// wildcard `_ =>` arm means a newly added kind compiles but silently
+/// disappears from reconstructed spans, breaking the
+/// exactly-one-terminal-state invariant without any test noticing.
+const TRACE_EXHAUSTIVE_MODULES: &[(&str, &[&str])] = &[("gage-obs", &["spans"])];
 
 /// (crate, module stems) allowed to flip node liveness with
 /// `NodeScheduler::set_up`: the node table itself (gage-core::node), the
@@ -553,6 +561,19 @@ fn check_line(ctx: &FileContext<'_>, code: &str, emit: &mut dyn FnMut(&'static s
         }
     }
 
+    let reconstructor = TRACE_EXHAUSTIVE_MODULES
+        .iter()
+        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
+    if reconstructor && has_wildcard_arm(code) {
+        emit(
+            "trace-kind-exhaustive",
+            "wildcard `_ =>` arm in a trace reconstructor; match every TraceKind \
+             variant explicitly so new kinds fail to compile instead of silently \
+             vanishing from timelines"
+                .to_string(),
+        );
+    }
+
     let liveness_ok = SET_UP_MODULES
         .iter()
         .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
@@ -698,6 +719,26 @@ fn has_literal_index(code: &str) -> bool {
         if digits > 0 && j < b.len() && b[j] == b']' {
             return true;
         }
+    }
+    false
+}
+
+/// Detects a wildcard match arm: `=>` whose pattern, after trimming, is a
+/// lone `_` token (`_ =>`, `_=>`). Bindings like `Some(_) =>` or named
+/// catch-alls like `other =>` do not count — only the bare wildcard that
+/// swallows unhandled `TraceKind` variants.
+fn has_wildcard_arm(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("=>") {
+        let at = from + pos;
+        let before = code[..at].trim_end();
+        if let Some(head) = before.strip_suffix('_') {
+            let prev = head.as_bytes().last().copied();
+            if prev.is_none_or(|c| !is_ident(c)) {
+                return true;
+            }
+        }
+        from = at + 2;
     }
     false
 }

@@ -69,6 +69,11 @@ fn every_rule_trips_on_the_fixture_corpus() {
         has(&f, "obs-no-adhoc-print", "crates/cluster/src/sim.rs", 5),
         "stdout()"
     );
+    // trace reconstructors must enumerate every TraceKind variant.
+    assert!(
+        has(&f, "trace-kind-exhaustive", "crates/obs/src/spans.rs", 6),
+        "wildcard arm"
+    );
     assert!(has(&f, "crate-attrs", CORE_LIB, 1));
     assert_eq!(
         f.iter()
@@ -115,6 +120,7 @@ fn allowlist_suppresses_each_rule() {
         (CORE_SCHED, 23),                 // watchdog-set-up
         ("crates/des/src/event.rs", 5),   // hot-path-btree
         ("crates/cluster/src/sim.rs", 7), // obs-no-adhoc-print
+        ("crates/obs/src/spans.rs", 13),  // trace-kind-exhaustive
     ] {
         assert!(!any_at(&f, file, line), "{file}:{line} should be allowed");
     }
@@ -136,14 +142,14 @@ fn exemptions_do_not_leak_findings() {
     }
     // The fixture corpus is fully enumerated: any extra finding is a
     // false positive in the engine.
-    assert_eq!(f.len(), 25, "exact fixture finding count: {f:#?}");
+    assert_eq!(f.len(), 26, "exact fixture finding count: {f:#?}");
 }
 
 #[test]
 fn json_report_is_machine_readable() {
     let f = fixture_findings();
     let json = report_json(&f);
-    assert!(json.starts_with("{\"count\":25,\"findings\":["));
+    assert!(json.starts_with("{\"count\":26,\"findings\":["));
     assert!(json.contains("\"rule\":\"hot-path-panic\""));
     assert!(json.contains("\"file\":\"crates/core/src/lib.rs\""));
     let quotes = json.matches('"').count();

@@ -58,17 +58,22 @@ impl SpliceMap {
     }
 
     /// As [`SpliceMap::new`], but also emits a `SpliceSetup` trace record
-    /// marking the start of the spliced connection's life cycle.
+    /// marking the start of the spliced connection's life cycle. `req` is
+    /// the logical request id the splice serves, threading the connection
+    /// into that request's causal timeline.
+    #[allow(clippy::too_many_arguments)]
     pub fn new_traced(
         client: Endpoint,
         cluster: Endpoint,
         rpn_ip: Ipv4Addr,
         rdn_isn: SeqNum,
         rpn_isn: SeqNum,
+        req: u64,
         tracer: &Tracer,
     ) -> Self {
         let map = SpliceMap::new(client, cluster, rpn_ip, rdn_isn, rpn_isn);
         tracer.emit(TraceEvent::SpliceSetup {
+            req,
             client_ip: u32::from(map.client.ip),
             client_port: map.client.port.get(),
             rpn_ip: u32::from(map.rpn_ip),
@@ -79,9 +84,11 @@ impl SpliceMap {
 
     /// Emits the `SpliceTeardown` trace record closing the life cycle
     /// opened by [`SpliceMap::new_traced`]. Called when the connection's
-    /// remap state is retired (FIN/RST or request completion).
-    pub fn trace_teardown(&self, tracer: &Tracer) {
+    /// remap state is retired (FIN/RST or request completion). `req` must
+    /// be the id passed to [`SpliceMap::new_traced`].
+    pub fn trace_teardown(&self, req: u64, tracer: &Tracer) {
         tracer.emit(TraceEvent::SpliceTeardown {
+            req,
             client_ip: u32::from(self.client.ip),
             client_port: self.client.port.get(),
         });
@@ -265,6 +272,7 @@ mod tests {
             rpn_ip,
             SeqNum::new(5_000),
             SeqNum::new(80),
+            42,
             &tracer,
         );
         assert_eq!(
@@ -272,7 +280,7 @@ mod tests {
             SpliceMap::new(client, cluster, rpn_ip, SeqNum::new(5_000), SeqNum::new(80)),
             "tracing never changes splice behaviour"
         );
-        map.trace_teardown(&tracer);
+        map.trace_teardown(42, &tracer);
         let events: Vec<TraceEvent> = tracer
             .with_ring(|r| r.iter().map(|x| x.event).collect())
             .unwrap();
@@ -280,12 +288,14 @@ mod tests {
             events,
             vec![
                 TraceEvent::SpliceSetup {
+                    req: 42,
                     client_ip: u32::from(client.ip),
                     client_port: 40_000,
                     rpn_ip: u32::from(rpn_ip),
                     seq_delta: 4_920,
                 },
                 TraceEvent::SpliceTeardown {
+                    req: 42,
                     client_ip: u32::from(client.ip),
                     client_port: 40_000,
                 },

@@ -1,0 +1,113 @@
+//! `gage-audit` — QoS conformance audit of a gage trace dump.
+//!
+//! ```text
+//! gage-audit <path> [--json] [--window SECS] [--tolerance F] [--expect-clean]
+//! ```
+//!
+//! Reconstructs every request in the dump into its causal timeline, checks
+//! the exactly-one-terminal-state invariant, computes delivered service per
+//! conformance window against each subscriber's (possibly fault-rescaled)
+//! reservation, and prints either a human table (default) or the machine
+//! JSON report (`--json`, schema `gage-audit-v1`).
+//!
+//! Exit status:
+//!
+//! * non-zero if the dump is malformed, the ring overwrote history, or any
+//!   request fails to reconstruct into exactly one terminal state;
+//! * with `--expect-clean`, additionally non-zero if any request is still
+//!   unterminated or any conformance violation is reported (the CI
+//!   no-fault baseline gate).
+
+use std::process::ExitCode;
+
+use gage_obs::audit::{audit_dump, AuditConfig};
+
+struct Opts {
+    path: String,
+    json: bool,
+    expect_clean: bool,
+    config: AuditConfig,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gage-audit <path> [--json] [--window SECS] [--tolerance F] [--expect-clean]");
+    ExitCode::FAILURE
+}
+
+fn parse_args(args: &[String]) -> Option<Opts> {
+    let mut opts = Opts {
+        path: String::new(),
+        json: false,
+        expect_clean: false,
+        config: AuditConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--expect-clean" => opts.expect_clean = true,
+            "--window" => {
+                let secs: f64 = it.next()?.parse().ok()?;
+                if secs <= 0.0 || secs.is_nan() {
+                    return None;
+                }
+                opts.config.window_ns = (secs * 1e9) as u64;
+            }
+            "--tolerance" => {
+                let f: f64 = it.next()?.parse().ok()?;
+                if !(0.0..=1.0).contains(&f) {
+                    return None;
+                }
+                opts.config.tolerance = f;
+            }
+            _ if opts.path.is_empty() && !arg.starts_with("--") => opts.path = arg.clone(),
+            _ => return None,
+        }
+    }
+    if opts.path.is_empty() {
+        return None;
+    }
+    Some(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse_args(&args) else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&opts.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gage-audit: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match audit_dump(&text, &opts.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gage-audit: {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_table());
+    }
+    if opts.expect_clean {
+        if !report.unterminated.is_empty() {
+            eprintln!(
+                "gage-audit: {} unterminated request(s): {:?}",
+                report.unterminated.len(),
+                &report.unterminated[..report.unterminated.len().min(10)]
+            );
+            return ExitCode::FAILURE;
+        }
+        let violations = report.violation_count();
+        if violations > 0 {
+            eprintln!("gage-audit: {violations} conformance violation(s) in a run expected clean");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,12 +1,15 @@
 //! `tracedump` — pretty-print and filter a gage trace dump.
 //!
 //! ```text
-//! tracedump <path> [--kind K] [--sub N] [--from SECS] [--to SECS]
+//! tracedump <path> [--kind K] [--sub N] [--req N] [--from SECS] [--to SECS]
 //!           [--check] [--stats]
 //! ```
 //!
 //! * `--kind K`   keep only records of kind `K` (e.g. `dispatch`).
-//! * `--sub N`    keep only records about subscriber `N`.
+//! * `--sub N`    keep only records about subscriber `N`
+//!   (`--subscriber` is accepted as a long alias).
+//! * `--req N`    keep only records about request id `N` — one request's
+//!   whole causal timeline.
 //! * `--from S` / `--to S`   keep records with `S_from <= t < S_to` (seconds).
 //! * `--check`    validate only: parse every line, print a summary, exit
 //!   non-zero on any malformed line (used by the CI trace-smoke step).
@@ -22,6 +25,7 @@ struct Opts {
     path: String,
     kind: Option<String>,
     sub: Option<u64>,
+    req: Option<u64>,
     from_secs: Option<f64>,
     to_secs: Option<f64>,
     check: bool,
@@ -30,7 +34,8 @@ struct Opts {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tracedump <path> [--kind K] [--sub N] [--from SECS] [--to SECS] [--check] [--stats]"
+        "usage: tracedump <path> [--kind K] [--sub N] [--req N] [--from SECS] [--to SECS] \
+         [--check] [--stats]"
     );
     ExitCode::FAILURE
 }
@@ -40,6 +45,7 @@ fn parse_args(args: &[String]) -> Option<Opts> {
         path: String::new(),
         kind: None,
         sub: None,
+        req: None,
         from_secs: None,
         to_secs: None,
         check: false,
@@ -51,7 +57,8 @@ fn parse_args(args: &[String]) -> Option<Opts> {
             "--check" => opts.check = true,
             "--stats" => opts.stats = true,
             "--kind" => opts.kind = Some(it.next()?.clone()),
-            "--sub" => opts.sub = it.next()?.parse().ok(),
+            "--sub" | "--subscriber" => opts.sub = it.next()?.parse().ok(),
+            "--req" => opts.req = it.next()?.parse().ok(),
             "--from" => opts.from_secs = it.next()?.parse().ok(),
             "--to" => opts.to_secs = it.next()?.parse().ok(),
             _ if opts.path.is_empty() && !arg.starts_with("--") => opts.path = arg.clone(),
@@ -72,6 +79,11 @@ fn keep(record: &Json, opts: &Opts) -> bool {
     }
     if let Some(sub) = opts.sub {
         if record.get("sub").and_then(Json::as_u64) != Some(sub) {
+            return false;
+        }
+    }
+    if let Some(req) = opts.req {
+        if record.get("req").and_then(Json::as_u64) != Some(req) {
             return false;
         }
     }

@@ -10,22 +10,33 @@
 //!   [`TraceEvent`] records stamped with [`gage_des::SimTime`]. Emission is
 //!   allocation-free; a disabled tracer costs one branch. Dumps are
 //!   line-oriented JSON and byte-identical across same-seed runs.
-//! * [`Registry`] — named counters / gauges / [`Histogram`]s with
-//!   insertion-ordered, deterministic export as `gage-json` or a table.
+//! * [`Registry`] — named counters / gauges / [`Histogram`]s (with
+//!   deterministic p50/p95/p99 estimation) and insertion-ordered,
+//!   deterministic export as `gage-json` or a table.
+//! * [`spans`] — folds a dump back into per-request causal timelines
+//!   (arrival → enqueue → dispatch → splice → terminal state) with
+//!   per-stage durations.
+//! * [`audit`] — the per-subscriber QoS conformance auditor: delivered
+//!   GRPS per window vs. the (possibly fault-rescaled) reservation.
 //! * `tracedump` (bin) — pretty-prints and filters dumps by subscriber,
-//!   event kind and time range.
+//!   request, event kind and time range.
+//! * `gage-audit` (bin) — runs the auditor over a dump file and emits a
+//!   human table or a machine JSON conformance report.
 //!
 //! See DESIGN.md §11 for the record schema, the determinism contract and
-//! the overhead budget.
+//! the overhead budget, and §13 for the span model and the
+//! conformance-window definition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod registry;
 mod ring;
+pub mod spans;
 
 pub use registry::{Histogram, Registry, METRICS_SCHEMA};
-pub use ring::{TraceEvent, TraceRecord, TraceRing, Tracer, TRACE_SCHEMA};
+pub use ring::{TraceEvent, TraceKind, TraceRecord, TraceRing, Tracer, TRACE_SCHEMA};
 
 use gage_json::Json;
 
@@ -68,10 +79,14 @@ mod tests {
     #[test]
     fn parse_dump_round_trips() {
         let t = Tracer::enabled(8);
-        t.emit_at(SimTime::from_millis(1), TraceEvent::Drop { sub: 0 });
+        t.emit_at(SimTime::from_millis(1), TraceEvent::Drop { sub: 0, req: 5 });
         t.emit_at(
             SimTime::from_millis(2),
-            TraceEvent::Enqueue { sub: 1, backlog: 2 },
+            TraceEvent::Enqueue {
+                sub: 1,
+                req: 6,
+                backlog: 2,
+            },
         );
         let dump = t.dump().expect("enabled");
         let (header, records) = parse_dump(&dump).expect("valid dump");
@@ -89,7 +104,7 @@ mod tests {
         assert!(parse_dump("{\"schema\":\"other\"}\n").is_err());
         assert!(parse_dump("{\"no_schema\":1}\n").is_err());
         let t = Tracer::enabled(4);
-        t.emit(TraceEvent::Drop { sub: 0 });
+        t.emit(TraceEvent::Drop { sub: 0, req: 0 });
         let mut dump = t.dump().expect("enabled");
         dump.push_str("not json\n");
         assert!(parse_dump(&dump).is_err());

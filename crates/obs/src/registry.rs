@@ -101,6 +101,57 @@ impl Histogram {
         }
     }
 
+    /// The raw log2 bucket counts. Bucket `i` counts samples in
+    /// `(2^(i-1), 2^i]`; bucket 0 takes everything `<= 1`.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Bucket-estimated quantile `q` (clamped to `[0, 1]`).
+    ///
+    /// Walks the fixed log2 buckets to the one containing the rank
+    /// `ceil(q * count)` sample and interpolates linearly inside it, then
+    /// clamps the estimate to the exact observed `[min, max]`. Entirely a
+    /// function of the bucket counts — same samples, same answer, on any
+    /// platform — which is what lets same-seed snapshots stay
+    /// byte-identical.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = if i == 0 { 0.0 } else { 2f64.powi(i as i32 - 1) };
+                let hi = 2f64.powi(i as i32);
+                let frac = (rank - cum) as f64 / c as f64;
+                return (lo + frac * (hi - lo)).clamp(self.min(), self.max());
+            }
+            cum += c;
+        }
+        self.max()
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     fn to_json(&self) -> Json {
         // Buckets export as (upper_bound, count) pairs for the non-empty
         // ones only, keeping snapshots compact.
@@ -122,6 +173,9 @@ impl Histogram {
             ("min", Json::from(self.min())),
             ("max", Json::from(self.max())),
             ("mean", Json::from(self.mean())),
+            ("p50", Json::from(self.p50())),
+            ("p95", Json::from(self.p95())),
+            ("p99", Json::from(self.p99())),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -223,6 +277,15 @@ impl Registry {
         }
     }
 
+    /// Installs (or replaces) a prebuilt histogram under `name`.
+    ///
+    /// Used by exporters that accumulate histograms elsewhere (e.g. the
+    /// per-subscriber latency histograms inside `SubscriberMetrics`) and
+    /// publish them wholesale at snapshot time.
+    pub fn set_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.upsert(name, Value::Histogram(Box::new(histogram)));
+    }
+
     /// Reads back a counter.
     pub fn counter(&self, name: &str) -> Option<u64> {
         match self.entry(name)?.value {
@@ -304,13 +367,17 @@ impl Registry {
                 Value::Histogram(h) => {
                     let _ = writeln!(
                         out,
-                        "{:<width$}  {:>9}  n={} mean={:.3} min={:.3} max={:.3}",
+                        "{:<width$}  {:>9}  n={} mean={:.3} min={:.3} max={:.3} \
+                         p50={:.3} p95={:.3} p99={:.3}",
                         e.name,
                         "histogram",
                         h.count(),
                         h.mean(),
                         h.min(),
                         h.max(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
                     );
                 }
             }
@@ -357,6 +424,57 @@ mod tests {
         h.observe(-4.0);
         assert_eq!(h.count(), 6);
         assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate_and_deterministic() {
+        // Empty histogram: all quantiles are zero.
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+
+        // Single value: every quantile collapses to it (min/max clamp).
+        let mut h = Histogram::default();
+        h.observe(10.0);
+        assert_eq!(h.p50(), 10.0);
+        assert_eq!(h.p99(), 10.0);
+
+        // 1..=100: p50 lands in the 2^6 bucket (33..=64 -> 32 samples),
+        // p95/p99 in the 2^7 bucket. The estimate must sit inside the
+        // containing bucket's range and respect ordering.
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!((32.0..=64.0).contains(&p50), "p50={p50}");
+        assert!((64.0..=100.0).contains(&p95), "p95={p95}");
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        // Same samples in a different order: identical estimates.
+        let mut h2 = Histogram::default();
+        for v in (1..=100).rev() {
+            h2.observe(v as f64);
+        }
+        assert_eq!(h2.p50(), p50);
+        assert_eq!(h2.p95(), p95);
+        assert_eq!(h2.p99(), p99);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn set_histogram_installs_prebuilt() {
+        let mut h = Histogram::default();
+        for v in [2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        let mut reg = Registry::new();
+        reg.set_histogram("sub0.latency_ms", h.clone());
+        assert_eq!(reg.histogram("sub0.latency_ms"), Some(&h));
+        let text = reg.snapshot_json().to_string();
+        assert!(text.contains("\"p50\":"), "snapshot carries quantiles");
+        assert!(text.contains("\"buckets\":["), "snapshot carries buckets");
+        assert!(reg.to_table().contains("p95="));
     }
 
     #[test]

@@ -24,6 +24,11 @@ use gage_json::Json;
 /// Every variant is `Copy` and scalar-only: emitting must not allocate.
 /// Endpoint addresses are carried as raw `u32` IPv4 bits + port so this
 /// crate needs no dependency on `gage-net`.
+///
+/// Request-lifecycle variants carry a `req` id: a per-run monotonically
+/// assigned request identifier threaded end-to-end (client issue → RDN →
+/// RPN → splice → resolution) so the [`crate::spans`] reconstructor can
+/// fold a dump back into per-request causal timelines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// One scheduler cycle finished (`RequestScheduler::run_cycle_into`).
@@ -41,6 +46,9 @@ pub enum TraceEvent {
     Dispatch {
         /// The queue the request came from.
         sub: u32,
+        /// The request's run-wide id (0 when the scheduler's request type
+        /// carries no identity).
+        req: u64,
         /// The chosen node.
         rpn: u16,
         /// Whether the spare pass (rather than the reservation) funded it.
@@ -54,6 +62,8 @@ pub enum TraceEvent {
     Enqueue {
         /// The owning subscriber.
         sub: u32,
+        /// The request's run-wide id.
+        req: u64,
         /// Queue length after the insert.
         backlog: u32,
     },
@@ -61,9 +71,13 @@ pub enum TraceEvent {
     Drop {
         /// The owning subscriber.
         sub: u32,
+        /// The request's run-wide id.
+        req: u64,
     },
     /// An RPN's local service manager built a splice for a connection.
     SpliceSetup {
+        /// The request's run-wide id.
+        req: u64,
         /// Client IPv4 address (raw bits).
         client_ip: u32,
         /// Client port.
@@ -75,6 +89,8 @@ pub enum TraceEvent {
     },
     /// A spliced connection completed and its remap state was retired.
     SpliceTeardown {
+        /// The request's run-wide id.
+        req: u64,
         /// Client IPv4 address (raw bits).
         client_ip: u32,
         /// Client port.
@@ -125,6 +141,8 @@ pub enum TraceEvent {
     RequestRetry {
         /// The owning subscriber.
         sub: u32,
+        /// The request's run-wide id (stable across retries).
+        req: u64,
         /// Retry attempt number just started (1 = first retry).
         attempt: u32,
     },
@@ -133,6 +151,8 @@ pub enum TraceEvent {
     RequestFailed {
         /// The owning subscriber.
         sub: u32,
+        /// The request's run-wide id.
+        req: u64,
         /// Total attempts made (initial try + retries).
         attempts: u32,
     },
@@ -149,6 +169,8 @@ pub enum TraceEvent {
     DispatchRequeued {
         /// The owning subscriber.
         sub: u32,
+        /// The request's run-wide id.
+        req: u64,
         /// The dead node the dispatch was bound for.
         rpn: u16,
     },
@@ -158,30 +180,196 @@ pub enum TraceEvent {
         /// Multiplier applied to every reservation this cycle, `(0, 1]`.
         scale: f64,
     },
+    /// A client issued a request — the start of its causal timeline and the
+    /// unit the conservation invariant counts (`offered`).
+    ReqArrival {
+        /// The owning subscriber.
+        sub: u32,
+        /// The request's run-wide id.
+        req: u64,
+    },
+    /// A client received its response — the `served` terminal state.
+    ReqServed {
+        /// The owning subscriber.
+        sub: u32,
+        /// The request's run-wide id.
+        req: u64,
+    },
+    /// A client's request was refused at admission (queue full, RST) —
+    /// the `dropped` terminal state.
+    ReqDropped {
+        /// The owning subscriber.
+        sub: u32,
+        /// The request's run-wide id.
+        req: u64,
+    },
+    /// An RPN finished servicing a request (response handed to the NIC).
+    /// Not a terminal state — the client still has to receive it.
+    ReqComplete {
+        /// The owning subscriber.
+        sub: u32,
+        /// The request's run-wide id.
+        req: u64,
+        /// The node that serviced it.
+        rpn: u16,
+    },
+    /// A subscriber's configured reservation, emitted once when tracing is
+    /// enabled so dumps are self-describing for the conformance auditor.
+    Reservation {
+        /// The subscriber.
+        sub: u32,
+        /// Reserved general requests per second.
+        grps: f64,
+    },
+}
+
+/// The fieldless tag of a [`TraceEvent`] variant.
+///
+/// Analysis code (the span reconstructor in [`crate::spans`], kind filters
+/// in `tracedump`) matches on this enum rather than on raw strings, so the
+/// compiler — backed by the `trace-kind-exhaustive` lint rule — can prove
+/// every trace kind is handled when a new variant is added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// `sched_cycle`
+    SchedCycle,
+    /// `dispatch`
+    Dispatch,
+    /// `enqueue`
+    Enqueue,
+    /// `drop`
+    Drop,
+    /// `splice_setup`
+    SpliceSetup,
+    /// `splice_teardown`
+    SpliceTeardown,
+    /// `acct_report`
+    AcctReport,
+    /// `node_load`
+    NodeLoad,
+    /// `node_down`
+    NodeDown,
+    /// `node_up`
+    NodeUp,
+    /// `rpn_crash`
+    RpnCrash,
+    /// `rpn_recover`
+    RpnRecover,
+    /// `request_retry`
+    RequestRetry,
+    /// `request_failed`
+    RequestFailed,
+    /// `routes_purged`
+    RoutesPurged,
+    /// `dispatch_requeue`
+    DispatchRequeued,
+    /// `reservation_scale`
+    ReservationScale,
+    /// `req_arrival`
+    ReqArrival,
+    /// `req_served`
+    ReqServed,
+    /// `req_dropped`
+    ReqDropped,
+    /// `req_complete`
+    ReqComplete,
+    /// `reservation`
+    Reservation,
+}
+
+impl TraceKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [TraceKind; 22] = [
+        TraceKind::SchedCycle,
+        TraceKind::Dispatch,
+        TraceKind::Enqueue,
+        TraceKind::Drop,
+        TraceKind::SpliceSetup,
+        TraceKind::SpliceTeardown,
+        TraceKind::AcctReport,
+        TraceKind::NodeLoad,
+        TraceKind::NodeDown,
+        TraceKind::NodeUp,
+        TraceKind::RpnCrash,
+        TraceKind::RpnRecover,
+        TraceKind::RequestRetry,
+        TraceKind::RequestFailed,
+        TraceKind::RoutesPurged,
+        TraceKind::DispatchRequeued,
+        TraceKind::ReservationScale,
+        TraceKind::ReqArrival,
+        TraceKind::ReqServed,
+        TraceKind::ReqDropped,
+        TraceKind::ReqComplete,
+        TraceKind::Reservation,
+    ];
+
+    /// Stable snake_case tag used in dumps and `tracedump` filters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::SchedCycle => "sched_cycle",
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::Enqueue => "enqueue",
+            TraceKind::Drop => "drop",
+            TraceKind::SpliceSetup => "splice_setup",
+            TraceKind::SpliceTeardown => "splice_teardown",
+            TraceKind::AcctReport => "acct_report",
+            TraceKind::NodeLoad => "node_load",
+            TraceKind::NodeDown => "node_down",
+            TraceKind::NodeUp => "node_up",
+            TraceKind::RpnCrash => "rpn_crash",
+            TraceKind::RpnRecover => "rpn_recover",
+            TraceKind::RequestRetry => "request_retry",
+            TraceKind::RequestFailed => "request_failed",
+            TraceKind::RoutesPurged => "routes_purged",
+            TraceKind::DispatchRequeued => "dispatch_requeue",
+            TraceKind::ReservationScale => "reservation_scale",
+            TraceKind::ReqArrival => "req_arrival",
+            TraceKind::ReqServed => "req_served",
+            TraceKind::ReqDropped => "req_dropped",
+            TraceKind::ReqComplete => "req_complete",
+            TraceKind::Reservation => "reservation",
+        }
+    }
+
+    /// Parses a dump tag back into a kind; `None` for unknown tags.
+    pub fn parse(tag: &str) -> Option<TraceKind> {
+        TraceKind::ALL.iter().copied().find(|k| k.as_str() == tag)
+    }
 }
 
 impl TraceEvent {
+    /// The variant's fieldless tag.
+    pub fn kind_tag(&self) -> TraceKind {
+        match self {
+            TraceEvent::SchedCycle { .. } => TraceKind::SchedCycle,
+            TraceEvent::Dispatch { .. } => TraceKind::Dispatch,
+            TraceEvent::Enqueue { .. } => TraceKind::Enqueue,
+            TraceEvent::Drop { .. } => TraceKind::Drop,
+            TraceEvent::SpliceSetup { .. } => TraceKind::SpliceSetup,
+            TraceEvent::SpliceTeardown { .. } => TraceKind::SpliceTeardown,
+            TraceEvent::AcctReport { .. } => TraceKind::AcctReport,
+            TraceEvent::NodeLoad { .. } => TraceKind::NodeLoad,
+            TraceEvent::NodeDown { .. } => TraceKind::NodeDown,
+            TraceEvent::NodeUp { .. } => TraceKind::NodeUp,
+            TraceEvent::RpnCrash { .. } => TraceKind::RpnCrash,
+            TraceEvent::RpnRecover { .. } => TraceKind::RpnRecover,
+            TraceEvent::RequestRetry { .. } => TraceKind::RequestRetry,
+            TraceEvent::RequestFailed { .. } => TraceKind::RequestFailed,
+            TraceEvent::RoutesPurged { .. } => TraceKind::RoutesPurged,
+            TraceEvent::DispatchRequeued { .. } => TraceKind::DispatchRequeued,
+            TraceEvent::ReservationScale { .. } => TraceKind::ReservationScale,
+            TraceEvent::ReqArrival { .. } => TraceKind::ReqArrival,
+            TraceEvent::ReqServed { .. } => TraceKind::ReqServed,
+            TraceEvent::ReqDropped { .. } => TraceKind::ReqDropped,
+            TraceEvent::ReqComplete { .. } => TraceKind::ReqComplete,
+            TraceEvent::Reservation { .. } => TraceKind::Reservation,
+        }
+    }
+
     /// Stable snake_case kind tag used in dumps and `tracedump` filters.
     pub fn kind(&self) -> &'static str {
-        match self {
-            TraceEvent::SchedCycle { .. } => "sched_cycle",
-            TraceEvent::Dispatch { .. } => "dispatch",
-            TraceEvent::Enqueue { .. } => "enqueue",
-            TraceEvent::Drop { .. } => "drop",
-            TraceEvent::SpliceSetup { .. } => "splice_setup",
-            TraceEvent::SpliceTeardown { .. } => "splice_teardown",
-            TraceEvent::AcctReport { .. } => "acct_report",
-            TraceEvent::NodeLoad { .. } => "node_load",
-            TraceEvent::NodeDown { .. } => "node_down",
-            TraceEvent::NodeUp { .. } => "node_up",
-            TraceEvent::RpnCrash { .. } => "rpn_crash",
-            TraceEvent::RpnRecover { .. } => "rpn_recover",
-            TraceEvent::RequestRetry { .. } => "request_retry",
-            TraceEvent::RequestFailed { .. } => "request_failed",
-            TraceEvent::RoutesPurged { .. } => "routes_purged",
-            TraceEvent::DispatchRequeued { .. } => "dispatch_requeue",
-            TraceEvent::ReservationScale { .. } => "reservation_scale",
-        }
+        self.kind_tag().as_str()
     }
 
     /// The subscriber this record is about, for per-subscriber filtering.
@@ -189,10 +377,36 @@ impl TraceEvent {
         match self {
             TraceEvent::Dispatch { sub, .. }
             | TraceEvent::Enqueue { sub, .. }
-            | TraceEvent::Drop { sub }
+            | TraceEvent::Drop { sub, .. }
             | TraceEvent::RequestRetry { sub, .. }
             | TraceEvent::RequestFailed { sub, .. }
-            | TraceEvent::DispatchRequeued { sub, .. } => Some(*sub),
+            | TraceEvent::DispatchRequeued { sub, .. }
+            | TraceEvent::ReqArrival { sub, .. }
+            | TraceEvent::ReqServed { sub, .. }
+            | TraceEvent::ReqDropped { sub, .. }
+            | TraceEvent::ReqComplete { sub, .. }
+            | TraceEvent::Reservation { sub, .. } => Some(*sub),
+            _ => None,
+        }
+    }
+
+    /// The request id this record is about, for per-request filtering.
+    /// `None` for records not tied to one request (and for records whose
+    /// emitter carries no request identity, where `req` is 0).
+    pub fn request(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Dispatch { req, .. }
+            | TraceEvent::Enqueue { req, .. }
+            | TraceEvent::Drop { req, .. }
+            | TraceEvent::SpliceSetup { req, .. }
+            | TraceEvent::SpliceTeardown { req, .. }
+            | TraceEvent::RequestRetry { req, .. }
+            | TraceEvent::RequestFailed { req, .. }
+            | TraceEvent::DispatchRequeued { req, .. }
+            | TraceEvent::ReqArrival { req, .. }
+            | TraceEvent::ReqServed { req, .. }
+            | TraceEvent::ReqDropped { req, .. }
+            | TraceEvent::ReqComplete { req, .. } => Some(*req),
             _ => None,
         }
     }
@@ -213,36 +427,46 @@ impl TraceEvent {
             ],
             TraceEvent::Dispatch {
                 sub,
+                req,
                 rpn,
                 spare,
                 predicted_cpu_us,
                 balance_cpu_us,
             } => vec![
                 ("sub", Json::from(sub)),
+                ("req", Json::from(req)),
                 ("rpn", Json::from(rpn)),
                 ("spare", Json::from(spare)),
                 ("predicted_cpu_us", Json::from(predicted_cpu_us)),
                 ("balance_cpu_us", Json::from(balance_cpu_us)),
             ],
-            TraceEvent::Enqueue { sub, backlog } => {
-                vec![("sub", Json::from(sub)), ("backlog", Json::from(backlog))]
+            TraceEvent::Enqueue { sub, req, backlog } => vec![
+                ("sub", Json::from(sub)),
+                ("req", Json::from(req)),
+                ("backlog", Json::from(backlog)),
+            ],
+            TraceEvent::Drop { sub, req } => {
+                vec![("sub", Json::from(sub)), ("req", Json::from(req))]
             }
-            TraceEvent::Drop { sub } => vec![("sub", Json::from(sub))],
             TraceEvent::SpliceSetup {
+                req,
                 client_ip,
                 client_port,
                 rpn_ip,
                 seq_delta,
             } => vec![
+                ("req", Json::from(req)),
                 ("client_ip", Json::from(client_ip)),
                 ("client_port", Json::from(client_port)),
                 ("rpn_ip", Json::from(rpn_ip)),
                 ("seq_delta", Json::from(seq_delta)),
             ],
             TraceEvent::SpliceTeardown {
+                req,
                 client_ip,
                 client_port,
             } => vec![
+                ("req", Json::from(req)),
                 ("client_ip", Json::from(client_ip)),
                 ("client_port", Json::from(client_port)),
             ],
@@ -262,19 +486,38 @@ impl TraceEvent {
             | TraceEvent::NodeUp { rpn }
             | TraceEvent::RpnCrash { rpn }
             | TraceEvent::RpnRecover { rpn } => vec![("rpn", Json::from(rpn))],
-            TraceEvent::RequestRetry { sub, attempt } => {
-                vec![("sub", Json::from(sub)), ("attempt", Json::from(attempt))]
-            }
-            TraceEvent::RequestFailed { sub, attempts } => {
-                vec![("sub", Json::from(sub)), ("attempts", Json::from(attempts))]
-            }
+            TraceEvent::RequestRetry { sub, req, attempt } => vec![
+                ("sub", Json::from(sub)),
+                ("req", Json::from(req)),
+                ("attempt", Json::from(attempt)),
+            ],
+            TraceEvent::RequestFailed { sub, req, attempts } => vec![
+                ("sub", Json::from(sub)),
+                ("req", Json::from(req)),
+                ("attempts", Json::from(attempts)),
+            ],
             TraceEvent::RoutesPurged { rpn, count } => {
                 vec![("rpn", Json::from(rpn)), ("count", Json::from(count))]
             }
-            TraceEvent::DispatchRequeued { sub, rpn } => {
-                vec![("sub", Json::from(sub)), ("rpn", Json::from(rpn))]
-            }
+            TraceEvent::DispatchRequeued { sub, req, rpn } => vec![
+                ("sub", Json::from(sub)),
+                ("req", Json::from(req)),
+                ("rpn", Json::from(rpn)),
+            ],
             TraceEvent::ReservationScale { scale } => vec![("scale", Json::from(scale))],
+            TraceEvent::ReqArrival { sub, req }
+            | TraceEvent::ReqServed { sub, req }
+            | TraceEvent::ReqDropped { sub, req } => {
+                vec![("sub", Json::from(sub)), ("req", Json::from(req))]
+            }
+            TraceEvent::ReqComplete { sub, req, rpn } => vec![
+                ("sub", Json::from(sub)),
+                ("req", Json::from(req)),
+                ("rpn", Json::from(rpn)),
+            ],
+            TraceEvent::Reservation { sub, grps } => {
+                vec![("sub", Json::from(sub)), ("grps", Json::from(grps))]
+            }
         }
     }
 }
@@ -431,7 +674,7 @@ struct TraceShared {
 ///
 /// let t = Tracer::enabled(1024);
 /// t.set_now(SimTime::from_millis(10));
-/// t.emit(TraceEvent::Drop { sub: 3 });
+/// t.emit(TraceEvent::Drop { sub: 3, req: 17 });
 /// let dump = t.dump().expect("enabled tracer dumps");
 /// assert!(dump.lines().count() == 2); // header + one record
 /// assert!(Tracer::disabled().dump().is_none());
@@ -520,7 +763,87 @@ mod tests {
     use super::*;
 
     fn ev(sub: u32) -> TraceEvent {
-        TraceEvent::Drop { sub }
+        TraceEvent::Drop {
+            sub,
+            req: sub as u64,
+        }
+    }
+
+    /// One instance of every variant, in declaration order.
+    fn one_of_each() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SchedCycle {
+                cycle: 1,
+                dispatched: 2,
+                spare: 1,
+                backlog: 7,
+            },
+            TraceEvent::Dispatch {
+                sub: 0,
+                req: 41,
+                rpn: 3,
+                spare: true,
+                predicted_cpu_us: 1.5,
+                balance_cpu_us: -0.25,
+            },
+            TraceEvent::Enqueue {
+                sub: 1,
+                req: 42,
+                backlog: 4,
+            },
+            TraceEvent::Drop { sub: 1, req: 43 },
+            TraceEvent::SpliceSetup {
+                req: 44,
+                client_ip: 0x0a00_0001,
+                client_port: 40_000,
+                rpn_ip: 0x0a00_0204,
+                seq_delta: 99,
+            },
+            TraceEvent::SpliceTeardown {
+                req: 44,
+                client_ip: 0x0a00_0001,
+                client_port: 40_000,
+            },
+            TraceEvent::AcctReport {
+                rpn: 2,
+                subscribers: 3,
+                completed: 11,
+            },
+            TraceEvent::NodeLoad { rpn: 2, load: 0.75 },
+            TraceEvent::NodeDown { rpn: 1 },
+            TraceEvent::NodeUp { rpn: 1 },
+            TraceEvent::RpnCrash { rpn: 1 },
+            TraceEvent::RpnRecover { rpn: 1 },
+            TraceEvent::RequestRetry {
+                sub: 2,
+                req: 45,
+                attempt: 1,
+            },
+            TraceEvent::RequestFailed {
+                sub: 2,
+                req: 45,
+                attempts: 3,
+            },
+            TraceEvent::RoutesPurged { rpn: 1, count: 17 },
+            TraceEvent::DispatchRequeued {
+                sub: 2,
+                req: 46,
+                rpn: 1,
+            },
+            TraceEvent::ReservationScale { scale: 0.5 },
+            TraceEvent::ReqArrival { sub: 0, req: 47 },
+            TraceEvent::ReqServed { sub: 0, req: 47 },
+            TraceEvent::ReqDropped { sub: 1, req: 48 },
+            TraceEvent::ReqComplete {
+                sub: 0,
+                req: 47,
+                rpn: 2,
+            },
+            TraceEvent::Reservation {
+                sub: 0,
+                grps: 150.0,
+            },
+        ]
     }
 
     #[test]
@@ -585,52 +908,13 @@ mod tests {
 
     #[test]
     fn every_kind_dumps_and_parses() {
+        let events = one_of_each();
+        assert_eq!(
+            events.len(),
+            TraceKind::ALL.len(),
+            "one_of_each must cover every kind"
+        );
         let mut r = TraceRing::new(32);
-        let events = [
-            TraceEvent::SchedCycle {
-                cycle: 1,
-                dispatched: 2,
-                spare: 1,
-                backlog: 7,
-            },
-            TraceEvent::Dispatch {
-                sub: 0,
-                rpn: 3,
-                spare: true,
-                predicted_cpu_us: 1.5,
-                balance_cpu_us: -0.25,
-            },
-            TraceEvent::Enqueue { sub: 1, backlog: 4 },
-            TraceEvent::Drop { sub: 1 },
-            TraceEvent::SpliceSetup {
-                client_ip: 0x0a00_0001,
-                client_port: 40_000,
-                rpn_ip: 0x0a00_0204,
-                seq_delta: 99,
-            },
-            TraceEvent::SpliceTeardown {
-                client_ip: 0x0a00_0001,
-                client_port: 40_000,
-            },
-            TraceEvent::AcctReport {
-                rpn: 2,
-                subscribers: 3,
-                completed: 11,
-            },
-            TraceEvent::NodeLoad { rpn: 2, load: 0.75 },
-            TraceEvent::NodeDown { rpn: 1 },
-            TraceEvent::NodeUp { rpn: 1 },
-            TraceEvent::RpnCrash { rpn: 1 },
-            TraceEvent::RpnRecover { rpn: 1 },
-            TraceEvent::RequestRetry { sub: 2, attempt: 1 },
-            TraceEvent::RequestFailed {
-                sub: 2,
-                attempts: 3,
-            },
-            TraceEvent::RoutesPurged { rpn: 1, count: 17 },
-            TraceEvent::DispatchRequeued { sub: 2, rpn: 1 },
-            TraceEvent::ReservationScale { scale: 0.5 },
-        ];
         for (i, e) in events.iter().enumerate() {
             r.push(SimTime::from_millis(i as u64), *e);
         }
@@ -641,6 +925,24 @@ mod tests {
                 v.get("kind").and_then(gage_json::Json::as_str),
                 Some(e.kind())
             );
+        }
+    }
+
+    #[test]
+    fn trace_kind_tags_roundtrip() {
+        // ALL covers each variant exactly once, tags are unique, and
+        // parse() inverts as_str().
+        let mut tags: Vec<&str> = TraceKind::ALL.iter().map(|k| k.as_str()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), TraceKind::ALL.len(), "tags must be unique");
+        for k in TraceKind::ALL {
+            assert_eq!(TraceKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(TraceKind::parse("no_such_kind"), None);
+        // kind_tag() agrees with kind() for every variant.
+        for e in one_of_each() {
+            assert_eq!(e.kind_tag().as_str(), e.kind());
         }
     }
 

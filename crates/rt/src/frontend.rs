@@ -10,7 +10,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,7 +20,7 @@ use gage_core::resource::{Grps, ResourceVector};
 use gage_core::scheduler::{RequestScheduler, SubscriberCounters};
 use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
 use gage_des::SimTime;
-use gage_obs::Tracer;
+use gage_obs::{Histogram, Registry, Tracer};
 use parking_lot::Mutex;
 
 use crate::backend::format_pred;
@@ -83,6 +83,27 @@ struct QueuedConn {
     stream: TcpStream,
     head: RequestHead,
     size: u64,
+    /// Monotone per-front-end request id, stamped into the scheduler's
+    /// `enqueue`/`drop`/`dispatch` trace records.
+    req: u64,
+    /// When the connection entered its subscriber queue.
+    enqueued: Instant,
+}
+
+impl gage_core::scheduler::TraceTag for QueuedConn {
+    fn trace_tag(&self) -> u64 {
+        self.req
+    }
+}
+
+/// Live latency histograms shared between the worker threads and
+/// [`FrontendHandle::registry`].
+#[derive(Debug, Default)]
+struct FrontendStats {
+    /// Queue wait (enqueue → dispatch), milliseconds.
+    queue_wait_ms: Mutex<Histogram>,
+    /// Dispatch-to-relay-close service time, milliseconds.
+    service_ms: Mutex<Histogram>,
 }
 
 type SharedScheduler = Arc<Mutex<RequestScheduler<QueuedConn>>>;
@@ -97,12 +118,26 @@ pub struct FrontendHandle {
     scheduler: SharedScheduler,
     stop: Arc<AtomicBool>,
     tracer: Tracer,
+    stats: Arc<FrontendStats>,
 }
 
 impl FrontendHandle {
     /// Lifetime counters for one subscriber.
     pub fn counters(&self, sub: SubscriberId) -> SubscriberCounters {
         self.scheduler.lock().counters(sub)
+    }
+
+    /// Live metrics snapshot: queue-wait and service-time histograms (with
+    /// p50/p95/p99 in [`Registry::snapshot_json`] and
+    /// [`Registry::to_table`]).
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.set_histogram(
+            "frontend.queue_wait_ms",
+            self.stats.queue_wait_ms.lock().clone(),
+        );
+        reg.set_histogram("frontend.service_ms", self.stats.service_ms.lock().clone());
+        reg
     }
 
     /// Serializes the trace ring (header + one JSON record per line).
@@ -161,12 +196,15 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
     let registry = Arc::new(registry);
     let backends = Arc::new(cfg.backends.clone());
     let stop = Arc::new(AtomicBool::new(false));
+    let next_req = Arc::new(AtomicU64::new(0));
+    let stats = Arc::new(FrontendStats::default());
 
     // Accept loop: classify and enqueue.
     {
         let scheduler = Arc::clone(&scheduler);
         let registry = Arc::clone(&registry);
         let stop = Arc::clone(&stop);
+        let next_req = Arc::clone(&next_req);
         let read_timeout = cfg.client_read_timeout;
         std::thread::spawn(move || loop {
             let Ok((stream, _)) = listener.accept() else {
@@ -177,8 +215,10 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
             }
             let scheduler = Arc::clone(&scheduler);
             let registry = Arc::clone(&registry);
+            let next_req = Arc::clone(&next_req);
             std::thread::spawn(move || {
-                let _ = classify_and_enqueue(stream, &scheduler, &registry, read_timeout);
+                let _ =
+                    classify_and_enqueue(stream, &scheduler, &registry, &next_req, read_timeout);
             });
         });
     }
@@ -188,6 +228,7 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
         let scheduler = Arc::clone(&scheduler);
         let backends = Arc::clone(&backends);
         let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
         let tracer = tracer.clone();
         let started = Instant::now();
         let cycle = Duration::from_secs_f64(cfg.scheduler.scheduling_cycle_secs);
@@ -204,8 +245,13 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
                 let Some(&addr) = backends.get(d.rpn.0 as usize) else {
                     continue;
                 };
+                stats
+                    .queue_wait_ms
+                    .lock()
+                    .observe(d.request.enqueued.elapsed().as_secs_f64() * 1e3);
+                let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
-                    dispatch_one(d.request, d.subscriber, d.predicted, addr);
+                    dispatch_one(d.request, d.subscriber, d.predicted, addr, &stats);
                 });
             }
         });
@@ -237,6 +283,7 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
         scheduler,
         stop,
         tracer,
+        stats,
     })
 }
 
@@ -244,6 +291,7 @@ fn classify_and_enqueue(
     mut stream: TcpStream,
     scheduler: &SharedScheduler,
     registry: &SubscriberRegistry,
+    next_req: &AtomicU64,
     read_timeout: Duration,
 ) -> std::io::Result<()> {
     // Bound the head read: a stalled or byte-dribbling client is turned
@@ -274,7 +322,13 @@ fn classify_and_enqueue(
         return Ok(());
     };
     let size = head.size_hint().unwrap_or(6 * 1024);
-    let queued = QueuedConn { stream, head, size };
+    let queued = QueuedConn {
+        stream,
+        head,
+        size,
+        req: next_req.fetch_add(1, Ordering::Relaxed),
+        enqueued: Instant::now(),
+    };
     if let Err(rejected) = scheduler.lock().enqueue(sub, queued) {
         // Queue full: this is the paper's "dropped" outcome.
         let mut stream = rejected.stream;
@@ -288,7 +342,9 @@ fn dispatch_one(
     sub: SubscriberId,
     predicted: ResourceVector,
     backend_addr: SocketAddr,
+    stats: &FrontendStats,
 ) {
+    let started = Instant::now();
     let Ok(mut upstream) = TcpStream::connect(backend_addr) else {
         let _ = write_error_response(&mut conn.stream, "502 Bad Gateway");
         return;
@@ -307,6 +363,10 @@ fn dispatch_one(
     }
     // Application-level splice until both sides close.
     let _ = splice(&conn.stream, &upstream);
+    stats
+        .service_ms
+        .lock()
+        .observe(started.elapsed().as_secs_f64() * 1e3);
 }
 
 fn control_conn(
