@@ -444,6 +444,36 @@ fn bench_cluster_sim(quick: bool, points: &mut Vec<BenchPoint>) {
     points.push(point("trace_overhead", "overhead_pct", overhead_pct, true));
 }
 
+// --------------------------------------------------------- lint analysis
+
+/// Full `gage-lint` pass over the real workspace: lex, parse, model and all
+/// cross-file analyses (struct-graph, call-graph, stream map, trace
+/// coverage). Reported as milliseconds per cold run; this bounds how much
+/// the lint gate adds to every `cargo test` and CI round.
+fn bench_lint_workspace(quick: bool, points: &mut Vec<BenchPoint>) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf();
+    let rounds = if quick { 3 } else { 7 };
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let started = Instant::now();
+            let findings = gage_lint::lint_workspace(&root).expect("workspace tree is readable");
+            std::hint::black_box(findings);
+            started.elapsed().as_secs_f64() * 1_000.0
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    points.push(point(
+        "lint_workspace",
+        "ms_per_run",
+        samples[samples.len() / 2],
+        true,
+    ));
+}
+
 // --------------------------------------------------------- audit replay
 
 /// Offline audit throughput: folds a traced run's dump back into
@@ -501,6 +531,7 @@ pub fn run(quick: bool) -> HotpathReport {
     bench_event_churn(quick, 10_000, &mut points);
     bench_cluster_sim(quick, &mut points);
     bench_audit_reconstruct(quick, &mut points);
+    bench_lint_workspace(quick, &mut points);
     HotpathReport { points }
 }
 
@@ -573,6 +604,7 @@ mod tests {
             "cluster_sim_traced",
             "trace_overhead",
             "audit_reconstruct",
+            "lint_workspace",
         ] {
             assert!(names.contains(&expect), "missing {expect} in {names:?}");
         }

@@ -205,7 +205,7 @@ impl FaultState {
     /// The no-plan state: no windows, draws never happen.
     pub(crate) fn inactive() -> Self {
         FaultState {
-            rng: SimRng::seed_from(0),
+            rng: SimRng::seed_from(0), // lint:allow(rng-stream-discipline) inactive placeholder, never drawn from; install() re-seeds
             loss_windows: Vec::new(),
             link_faults: Vec::new(),
         }

@@ -1,0 +1,6 @@
+//! Fixture: trace emit sites for the coverage analysis.
+
+pub fn emit_events(t: &Tracer) {
+    t.emit(TraceEvent::Emitted);
+    t.emit(TraceEvent::NeverConsumed);
+}

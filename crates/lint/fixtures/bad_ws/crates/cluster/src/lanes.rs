@@ -1,0 +1,21 @@
+//! Fixture: lane-reachable interior mutability and process-global state.
+
+use std::cell::Cell;
+
+pub struct ClusterSim {
+    world: LaneWorld,
+}
+
+pub struct LaneWorld {
+    hits: Cell<u64>,
+    safe_hits: u64,
+    allowed: Cell<u64>, // lint:allow(lane-shared-state)
+}
+
+static mut LANE_COUNT: u64 = 0;
+
+static TOTALS: std::sync::Mutex<u64> = std::sync::Mutex::new(0);
+
+thread_local! {
+    static SCRATCH: u64 = 0;
+}

@@ -1,0 +1,14 @@
+//! Fixture: RNG stream discipline.
+
+pub fn derive_streams(seed: u64) {
+    let _root = SimRng::seed_from(seed);
+    let _faults = SimRng::seed_from(seed).split(label());
+    let _raw = StdRng::seed_from_u64(seed);
+    let _churn = SimRng::seed_from(seed).split("churn");
+    let _ok = SimRng::seed_from(seed).split("arrivals");
+    let _legacy = SimRng::seed_from(seed); // lint:allow(rng-stream-discipline)
+}
+
+fn label() -> &'static str {
+    "dynamic_name"
+}

@@ -1,0 +1,10 @@
+//! Fixture: a hot-path entry point; panic-reachability walks its callees.
+
+pub fn run_cycle_into(out: &mut Vec<u64>) {
+    let budget = compute_budget(out).expect("budget");
+    station_pass(out, budget);
+}
+
+fn compute_budget(out: &mut Vec<u64>) -> Option<u64> {
+    out.first().copied()
+}

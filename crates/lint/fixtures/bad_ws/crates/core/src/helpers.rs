@@ -1,0 +1,16 @@
+//! Fixture: callees reachable (and not reachable) from the entry point.
+
+pub fn station_pass(out: &mut Vec<u64>, budget: u64) {
+    let head = *out.last().unwrap();
+    let boost = out[0] + head + budget;
+    out.push(boost);
+    let _ = quiet_helper(budget);
+}
+
+fn quiet_helper(v: u64) -> u64 {
+    Some(v).expect("present") // lint:allow(panic-reachability)
+}
+
+pub fn unreachable_helper(out: &[u64]) -> u64 {
+    out[1] + 1
+}

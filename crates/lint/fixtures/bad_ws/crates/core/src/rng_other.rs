@@ -1,0 +1,5 @@
+//! Fixture: stream label aliasing across modules.
+
+pub fn other_component(seed: u64) {
+    let _rng = SimRng::seed_from(seed).split("churn");
+}

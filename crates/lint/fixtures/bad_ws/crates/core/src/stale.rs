@@ -1,0 +1,10 @@
+//! Fixture: stale and unknown allow escapes must be flagged.
+// lint:allow-file(hot-path-btree)
+
+pub fn tidy() -> u64 {
+    1 // lint:allow(no-print)
+}
+
+pub fn typo() -> u64 {
+    2 // lint:allow(not-a-rule)
+}

@@ -1,0 +1,13 @@
+//! Fixture: every TraceKind variant needs an emit site and a consumer arm.
+
+pub enum TraceKind {
+    Emitted,
+    NeverEmitted,
+    NeverConsumed,
+}
+
+pub enum TraceEvent {
+    Emitted,
+    NeverEmitted,
+    NeverConsumed,
+}

@@ -13,3 +13,10 @@ pub fn classify_allowed(kind: &str) -> u32 {
         _ => 0, // lint:allow(trace-kind-exhaustive)
     }
 }
+
+pub fn consume(kind: TraceKind) -> u32 {
+    match kind {
+        TraceKind::Emitted => 1,
+        TraceKind::NeverEmitted => 2,
+    }
+}

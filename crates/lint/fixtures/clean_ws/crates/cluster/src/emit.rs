@@ -1,0 +1,5 @@
+//! Clean fixture: the only TraceKind variant has a production emit site.
+
+pub fn emit(t: &Tracer) {
+    t.emit(TraceEvent::Served);
+}

@@ -1,0 +1,16 @@
+//! Clean fixture: lane-reachable state is exclusively owned.
+
+pub struct ClusterSim {
+    world: LaneWorld,
+}
+
+pub struct LaneWorld {
+    hits: u64,
+    names: Vec<String>,
+}
+
+impl ClusterSim {
+    pub fn hits(&self) -> u64 {
+        self.world.hits + self.world.names.len() as u64
+    }
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: every stream is derived with a distinct literal label.
+
+pub fn arm(seed: u64) {
+    let _churn = SimRng::seed_from(seed).split("churn");
+    let _arrivals = SimRng::seed_from(seed).split("arrivals");
+}

@@ -1,0 +1,11 @@
+//! Clean fixture: the hot-path entry reaches no panicking construct.
+
+pub fn run_cycle_into(out: &mut Vec<u64>) {
+    if let Some(budget) = compute_budget(out) {
+        station_pass(out, budget);
+    }
+}
+
+fn compute_budget(out: &mut Vec<u64>) -> Option<u64> {
+    out.first().copied()
+}

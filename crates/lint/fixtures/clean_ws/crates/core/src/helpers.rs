@@ -1,0 +1,7 @@
+//! Clean fixture: callees of the entry point stay panic-free.
+
+pub fn station_pass(out: &mut Vec<u64>, budget: u64) {
+    if let Some(head) = out.last().copied() {
+        out.push(head + budget);
+    }
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: the TraceKind variant is both emitted and consumed.
+
+pub enum TraceKind {
+    Served,
+}
+
+pub enum TraceEvent {
+    Served,
+}

@@ -1,0 +1,7 @@
+//! Clean fixture: the reconstructor consumes every variant explicitly.
+
+pub fn consume(kind: TraceKind) -> u32 {
+    match kind {
+        TraceKind::Served => 1,
+    }
+}

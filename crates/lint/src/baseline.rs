@@ -1,0 +1,400 @@
+//! The finding baseline: `lint-baseline.json` at the lint root.
+//!
+//! A baseline entry acknowledges one class of finding as known-and-accepted
+//! (with a recorded reason) without turning the rule off for anyone else.
+//! Entries match on `(rule, file, contains)`, where `contains` is a
+//! substring of the finding message — tight enough to pin one finding,
+//! loose enough to survive line drift. Entries that stop matching become
+//! `stale-baseline` findings, so the file can only shrink by someone
+//! looking at it.
+//!
+//! The file is parsed with the hand-rolled reader below; the lint crate is
+//! deliberately dependency-free (it has to be buildable before anything
+//! else in the workspace is).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::Finding;
+
+/// Schema tag the baseline file must carry.
+pub const BASELINE_SCHEMA: &str = "gage-lint-baseline-v1";
+/// Default baseline file name, looked up at the lint root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// One acknowledged finding class.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Exact finding file (lint-root-relative, `/` separators).
+    pub file: String,
+    /// Substring the finding message must contain (empty = any).
+    pub contains: String,
+    /// Why this finding is accepted. Required: an unexplained suppression
+    /// is indistinguishable from a swept-under-the-rug bug.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Loads `lint-baseline.json` from `root`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file exists but cannot be read or parsed — a
+    /// malformed baseline must fail loudly, not silently un-suppress.
+    pub fn load(root: &Path) -> io::Result<Option<Baseline>> {
+        let path = root.join(BASELINE_FILE);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path)?;
+        parse(&text).map(Some).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{BASELINE_FILE}: {e}"))
+        })
+    }
+
+    /// Splits `findings` into (kept, suppressed-count) and appends a
+    /// `stale-baseline` finding for every entry that matched nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let hit = self.entries.iter().enumerate().find(|(_, e)| {
+                e.rule == f.rule
+                    && e.file == f.file
+                    && (e.contains.is_empty() || f.message.contains(&e.contains))
+            });
+            if let Some((idx, _)) = hit {
+                used[idx] = true;
+                suppressed += 1;
+            } else {
+                kept.push(f);
+            }
+        }
+        for (idx, entry) in self.entries.iter().enumerate() {
+            if !used[idx] {
+                kept.push(Finding {
+                    rule: "stale-baseline",
+                    file: BASELINE_FILE.to_string(),
+                    line: idx + 1,
+                    col: 1,
+                    message: format!(
+                        "baseline entry #{idx} (rule `{}` in {}) no longer matches any \
+                         finding; delete it — the debt it acknowledged is paid",
+                        entry.rule, entry.file
+                    ),
+                    snippet: entry.contains.clone(),
+                });
+            }
+        }
+        kept.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        (kept, suppressed)
+    }
+}
+
+/// Parses the baseline document.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem: bad JSON,
+/// wrong schema tag, or an entry missing `rule`/`file`/`reason`.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let val = json::parse(text)?;
+    let obj = val.as_obj().ok_or("top level must be an object")?;
+    match json::get(obj, "schema").and_then(json::Val::as_str) {
+        Some(BASELINE_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema \"{other}\"")),
+        None => return Err("missing \"schema\"".to_string()),
+    }
+    let entries = json::get(obj, "entries")
+        .and_then(json::Val::as_arr)
+        .ok_or("missing \"entries\" array")?;
+    let mut out = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let obj = e
+            .as_obj()
+            .ok_or_else(|| format!("entry #{i} is not an object"))?;
+        let field = |k: &str| -> Result<String, String> {
+            json::get(obj, k)
+                .and_then(json::Val::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry #{i} is missing \"{k}\""))
+        };
+        let entry = BaselineEntry {
+            rule: field("rule")?,
+            file: field("file")?,
+            contains: json::get(obj, "contains")
+                .and_then(json::Val::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            reason: field("reason")?,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(format!("entry #{i} has an empty \"reason\""));
+        }
+        out.push(entry);
+    }
+    Ok(Baseline { entries: out })
+}
+
+/// A minimal JSON reader — just enough for the baseline document.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug)]
+    pub enum Val {
+        /// String.
+        Str(String),
+        /// Number (unused by the baseline schema, parsed for completeness).
+        Num(#[allow(dead_code)] f64),
+        /// Boolean.
+        Bool(#[allow(dead_code)] bool),
+        /// Null.
+        Null,
+        /// Array.
+        Arr(Vec<Val>),
+        /// Object, preserving key order.
+        Obj(Vec<(String, Val)>),
+    }
+
+    impl Val {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Val::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// The array payload, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Val]> {
+            match self {
+                Val::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        /// The object payload, if this is an object.
+        pub fn as_obj(&self) -> Option<&[(String, Val)]> {
+            match self {
+                Val::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    /// First value for `key` in an object.
+    pub fn get<'a>(obj: &'a [(String, Val)], key: &str) -> Option<&'a Val> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parses one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-stamped message on malformed input.
+    pub fn parse(text: &str) -> Result<Val, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing content at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Val, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => obj(b, i),
+            Some(b'[') => arr(b, i),
+            Some(b'"') => Ok(Val::Str(string(b, i)?)),
+            Some(b't') => lit(b, i, "true", Val::Bool(true)),
+            Some(b'f') => lit(b, i, "false", Val::Bool(false)),
+            Some(b'n') => lit(b, i, "null", Val::Null),
+            Some(_) => num(b, i),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: Val) -> Result<Val, String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {i}", i = *i))
+        }
+    }
+
+    fn num(b: &[u8], i: &mut usize) -> Result<Val, String> {
+        let start = *i;
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Val::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        *i += 1; // opening quote
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    let esc = b.get(*i).ok_or("unterminated escape")?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {i}", i = *i)),
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let s =
+                        std::str::from_utf8(&b[*i..]).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    *i += c.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn arr(b: &[u8], i: &mut usize) -> Result<Val, String> {
+        *i += 1;
+        let mut out = Vec::new();
+        loop {
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Val::Arr(out));
+            }
+            out.push(value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {}
+                _ => return Err(format!("expected , or ] at byte {i}", i = *i)),
+            }
+        }
+    }
+
+    fn obj(b: &[u8], i: &mut usize) -> Result<Val, String> {
+        *i += 1;
+        let mut out = Vec::new();
+        loop {
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Val::Obj(out));
+            }
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected key at byte {i}", i = *i));
+            }
+            let key = string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected : at byte {i}", i = *i));
+            }
+            *i += 1;
+            out.push((key, value(b, i)?));
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {}
+                _ => return Err(format!("expected , or }} at byte {i}", i = *i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &str) -> String {
+        format!("{{\"schema\": \"{BASELINE_SCHEMA}\", \"entries\": [{entries}]}}")
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let b = parse(&doc("{\"rule\": \"float-eq\", \"file\": \"a.rs\", \
+             \"contains\": \"tolerance\", \"reason\": \"legacy\"}"))
+        .unwrap();
+        let f = Finding {
+            rule: "float-eq",
+            file: "a.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "compare with a tolerance".to_string(),
+            snippet: String::new(),
+        };
+        let (kept, suppressed) = b.apply(vec![f]);
+        assert_eq!(suppressed, 1);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn stale_entry_becomes_finding() {
+        let b = parse(&doc(
+            "{\"rule\": \"no-print\", \"file\": \"gone.rs\", \"reason\": \"old\"}",
+        ))
+        .unwrap();
+        let (kept, suppressed) = b.apply(Vec::new());
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "stale-baseline");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        assert!(parse(&doc("{\"rule\": \"x\", \"file\": \"y\"}")).is_err());
+        assert!(parse(&doc(
+            "{\"rule\": \"x\", \"file\": \"y\", \"reason\": \"  \"}"
+        ))
+        .is_err());
+        assert!(parse("{\"schema\": \"wrong\", \"entries\": []}").is_err());
+    }
+}

@@ -1,0 +1,491 @@
+//! A dependency-free Rust lexer.
+//!
+//! `gage-lint` v1 matched rules against regex-ish line scans, which meant
+//! every rule re-solved (and occasionally mis-solved) the same three
+//! problems: comments, string literals and char-vs-lifetime quotes. The
+//! lexer solves them once. It produces a flat [`Tok`] stream with byte
+//! spans and line/column positions; comments and whitespace are consumed
+//! (never tokens), so a rule that looks for the identifier `HashMap` can
+//! never fire inside a doc comment or a string literal again.
+//!
+//! The lexer is deliberately *not* a full Rust grammar: it recognizes the
+//! token shapes (identifiers, lifetimes, numeric/char/string/raw-string
+//! literals, multi-byte punctuation) and nothing more. Anything it cannot
+//! classify becomes a one-byte [`TokKind::Punct`], which is exactly the
+//! right degradation for a linter — unknown syntax flows through without
+//! derailing the stream.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `_`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal, any base, including suffixed forms (`0xFF`, `1u32`).
+    Int,
+    /// Float literal (`1.5`, `1e-9`, `2.0f64`).
+    Float,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, possibly multi-byte (`::`, `=>`, `==`, single `{`).
+    Punct,
+}
+
+/// One lexed token: kind plus its byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: usize,
+}
+
+impl Tok {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Multi-byte punctuation, longest first so the greedy match is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "=>", "==", "!=", "<=", ">=", "->", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes `src` into a token stream. Comments (line, nested block, doc) and
+/// whitespace produce no tokens. The lexer never fails: malformed input
+/// degrades to one-byte `Punct` tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    /// Byte offset where the current line begins (for column math).
+    line_start: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                b'b' if self.peek(1) == Some(b'"') => self.string(1, TokKind::Str),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_or_lifetime(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.raw_string(2)
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#type`.
+                    let start = self.pos;
+                    self.pos += 2;
+                    while self.pos < self.src.len() && is_ident_cont(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.push(TokKind::Ident, start);
+                }
+                _ if is_ident_start(c) => self.ident_or_number_suffixed(),
+                _ if c.is_ascii_digit() => self.number(),
+                b'"' => self.string(0, TokKind::Str),
+                b'\'' => self.char_or_lifetime(0),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize) {
+        self.out.push(Tok {
+            kind,
+            start,
+            end: self.pos,
+            line: self.line,
+            col: start - self.line_start + 1,
+        });
+    }
+
+    fn bump_line(&mut self) {
+        self.line += 1;
+        self.line_start = self.pos;
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match self.src[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.bump_line();
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string:
+    /// `offset` bytes of prefix, then zero or more `#`, then `"`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn raw_string(&mut self, prefix: usize) {
+        let start = self.pos;
+        let start_line = self.line;
+        let start_col = self.pos - self.line_start + 1;
+        self.pos += prefix;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.bump_line();
+                }
+                Some(b'"') => {
+                    // Need `hashes` trailing #s to close.
+                    let mut i = 1;
+                    let mut seen = 0;
+                    while seen < hashes && self.peek(i) == Some(b'#') {
+                        seen += 1;
+                        i += 1;
+                    }
+                    self.pos += 1;
+                    if seen == hashes {
+                        self.pos += hashes;
+                        break;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.out.push(Tok {
+            kind: TokKind::Str,
+            start,
+            end: self.pos,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    fn string(&mut self, prefix: usize, kind: TokKind) {
+        let start = self.pos;
+        let start_line = self.line;
+        let start_col = self.pos - self.line_start + 1;
+        self.pos += prefix + 1; // prefix + opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.bump_line();
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.push(Tok {
+            kind,
+            start,
+            end: self.pos,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    fn char_or_lifetime(&mut self, prefix: usize) {
+        let start = self.pos;
+        let q = self.pos + prefix; // position of the opening quote
+        let first = self.src.get(q + 1).copied();
+        let second = self.src.get(q + 2).copied();
+        let is_lifetime = prefix == 0 && first.is_some_and(is_ident_start) && second != Some(b'\'');
+        if is_lifetime {
+            self.pos = q + 1;
+            while self.pos < self.src.len() && is_ident_cont(self.src[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start);
+            return;
+        }
+        // Char/byte literal: consume to the closing quote on this line.
+        self.pos = q + 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // malformed; don't eat the rest of the file
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Char, start);
+    }
+
+    fn ident_or_number_suffixed(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_cont(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        // Integer part (covers 0x/0o/0b bases since those are ident chars).
+        while self.peek(0).is_some_and(is_ident_cont) {
+            self.pos += 1;
+        }
+        // Fractional part: a dot followed by a digit (so `0..10` and
+        // `1.max(2)` stay integers), or a trailing dot not followed by
+        // another dot or an identifier (`1.` is a float).
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    is_float = true;
+                    self.pos += 1;
+                    while self.peek(0).is_some_and(is_ident_cont) {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+            }
+        }
+        // `1e-9` / `2.5e+3`: the exponent sign is part of the literal.
+        let txt = &self.text[start..self.pos];
+        if (txt.ends_with('e') || txt.ends_with('E'))
+            && txt.bytes().next().is_some_and(|c| c.is_ascii_digit())
+            && !txt.starts_with("0x")
+            && !txt.starts_with("0X")
+            && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_cont) {
+                self.pos += 1;
+            }
+        }
+        // A dotless literal with an in-place exponent (`1e9`) is a float.
+        let txt = &self.text[start..self.pos];
+        if !is_float
+            && !txt.starts_with("0x")
+            && !txt.starts_with("0X")
+            && txt.len() > 1
+            && txt[1..].contains(['e', 'E'])
+            && txt
+                .bytes()
+                .all(|c| c.is_ascii_digit() || c == b'e' || c == b'E' || c == b'_')
+        {
+            is_float = true;
+        }
+        if txt.contains('.') {
+            is_float = true;
+        }
+        self.push(
+            if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            start,
+        );
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let rest = &self.text[self.pos..];
+        for p in MULTI_PUNCT {
+            if rest.starts_with(p) {
+                self.pos += p.len();
+                self.push(TokKind::Punct, start);
+                return;
+            }
+        }
+        self.pos += 1;
+        self.push(TokKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_code_tokens() {
+        let toks = kinds("let x = 1; // HashMap here\n/* Instant */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let toks = kinds(r#"let s = "HashMap uses Instant";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside"#; after"##;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "after"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(c: char) { if c == '\"' {} let s: &'static str; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'\"'"));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("a[4] 1.5 0..10 1e-9 2.0f64 0xFF 1.max(2)");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e-9", "2.0f64"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(ints.contains(&"4") && ints.contains(&"0xFF") && ints.contains(&"10"));
+    }
+
+    #[test]
+    fn multibyte_punct_is_one_token() {
+        let toks = kinds("a == b != c => d :: e -> f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "=>", "::", "->"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_line_tracked() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        let idents: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"b'\n' b"bytes" br"raw""#);
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::Str);
+    }
+}

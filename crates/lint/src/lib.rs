@@ -1,16 +1,22 @@
-//! `gage-lint` — a dependency-free, line/token-level invariant checker for
-//! the Gage workspace.
+//! `gage-lint` — a dependency-free static analyzer for the Gage workspace.
 //!
 //! The paper's guarantees rest on properties no compiler checks: the
 //! simulator must be *deterministic* (same seed → same Table 1), the
 //! splice/scheduler *hot path* must never panic mid-connection, and the
 //! QoS *accounting math* must not silently compare floats for equality.
-//! This crate walks every workspace source file and manifest and enforces
-//! those invariants as lint rules:
+//! v2 enforces them as a token-stream analyzer, not a line scanner: every
+//! source file is lexed ([`lexer`]) and parsed into items ([`parse`]), the
+//! packages are assembled into a workspace model with a cross-file symbol
+//! view ([`model`]), and the rules ([`rules`]) run against tokens and
+//! items. Comments, string literals and `#[cfg(test)]` regions are
+//! invisible to every rule by construction — the false-positive class the
+//! v1 regex scanner spent half its code fighting doesn't exist here.
+//!
+//! # Per-file rules
 //!
 //! | rule | scope | forbids |
 //! |---|---|---|
-//! | `determinism-clock` | gage-des, gage-core, gage-cluster, gage-workload | `Instant`, `SystemTime` (wall clocks in simulated time) |
+//! | `determinism-clock` | gage-des, gage-core, gage-cluster, gage-workload, gage-collections, gage-obs | `Instant`, `SystemTime` (wall clocks in simulated time) |
 //! | `determinism-rng` | same | `thread_rng`, `rand::random` (unseeded entropy) |
 //! | `determinism-hash-order` | same | `HashMap`, `HashSet` (iteration order varies per process) |
 //! | `hot-path-panic` | gage-core::{scheduler,queue,classify,conn_table,node}, gage-net::{splice,tcp,packet} | `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!` |
@@ -24,967 +30,128 @@
 //! | `trace-kind-exhaustive` | gage-obs::spans | wildcard `_ =>` match arms (the span reconstructor must handle every `TraceKind` variant explicitly so new kinds fail to compile, not silently vanish from timelines) |
 //! | `dep-version` | every `Cargo.toml` | wildcard versions, literal versions outside `[workspace.dependencies]`, duplicated versions |
 //!
-//! Test code (`#[cfg(test)]` blocks), binaries (`src/bin/`, `main.rs`),
+//! # Cross-file analyses
+//!
+//! | rule | catches |
+//! |---|---|
+//! | `lane-shared-state` | interior mutability, statics and TLS reachable from the lane roots (`ClusterSim`, `EventQueue`, `RequestScheduler`) via the struct graph — what would break deterministic parallel lanes (ROADMAP item 2) |
+//! | `rng-stream-discipline` | `SimRng::seed_from` without a named `.split("stream")` derivation outside gage-des; stream labels aliased across two modules |
+//! | `trace-kind-coverage` | `TraceKind` variants with no `TraceEvent` emit site or no reconstructor consumer arm |
+//! | `panic-reachability` | `unwrap`/`expect`/`panic!`-class constructs and literal indexing in callees reachable from the hot-path entry points (`run_cycle_into`, splice remap, `EventQueue::{schedule,pop}`) |
+//!
+//! # Meta-rules
+//!
+//! | rule | catches |
+//! |---|---|
+//! | `unused-allow` | escape comments whose rule no longer fires there, and escapes naming unknown rules |
+//! | `stale-baseline` | `lint-baseline.json` entries matching no current finding |
+//!
+//! Test code (`#[cfg(test)]` items), binaries (`src/bin/`, `main.rs`),
 //! comments and string literals are exempt from source rules. Any line can
-//! opt out with a trailing `// lint:allow(<rule>)` comment; a file can opt
-//! out of `crate-attrs` with `// lint:allow-file(crate-attrs)` in its first
-//! ten lines. Run as `cargo run -p gage-lint` (add `--json` for a
-//! machine-readable report) or let the `workspace_clean` test gate tier-1.
+//! opt out with a trailing `lint:allow` comment naming the rule(s); a file
+//! can opt out of a rule with a `lint:allow-file` comment in its first ten
+//! lines. Both escapes are themselves audited: one that stops suppressing
+//! anything becomes an `unused-allow` finding. Accepted findings live in
+//! `lint-baseline.json` at the lint root ([`baseline`]), each entry with a
+//! recorded reason; entries that stop matching become `stale-baseline`
+//! findings, so the debt ledger only shrinks under review. Run as
+//! `cargo run -p gage-lint` (`--json` for the `gage-lint-v2` report,
+//! `--sarif` for CI annotation upload) or let the `workspace_clean` test
+//! gate tier-1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// Crates whose sources must stay deterministic (they produce the paper's
-/// tables; a wall clock or unseeded RNG would un-reproduce them).
-const DETERMINISM_CRATES: &[&str] = &[
-    "gage-des",
-    "gage-core",
-    "gage-cluster",
-    "gage-workload",
-    "gage-collections",
-    "gage-obs",
-];
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod parse;
+pub mod report;
+pub mod rules;
 
-/// (crate, module stems) whose sources sit on the per-request path and must
-/// not panic.
-const HOT_PATH_MODULES: &[(&str, &[&str])] = &[
-    (
-        "gage-core",
-        &["scheduler", "queue", "classify", "conn_table", "node"],
-    ),
-    ("gage-net", &["splice", "tcp", "packet"]),
-];
+pub use baseline::Baseline;
 
-/// (crate, module stems) holding per-connection/per-event tables that PR 2
-/// moved to O(1) structures; an ordered tree creeping back in would put the
-/// O(log n) walk back on every packet.
-const HOT_PATH_BTREE_MODULES: &[(&str, &[&str])] = &[
-    ("gage-core", &["conn_table"]),
-    ("gage-des", &["event"]),
-    ("gage-cluster", &["sim"]),
-];
-
-/// (crate, module stems) instrumented by gage-obs. Observability in these
-/// modules must flow through the `Tracer`/`Registry` (deterministic, zero
-/// when disabled) — never ad-hoc writes to the process's stdout/stderr,
-/// which would both break trace determinism and bypass the ring's bounds.
-const OBS_MODULES: &[(&str, &[&str])] = &[
-    ("gage-core", &["scheduler"]),
-    ("gage-cluster", &["sim"]),
-    ("gage-net", &["splice"]),
-    ("gage-obs", &["ring", "registry", "lib", "spans", "audit"]),
-];
-
-/// (crate, module stems) that fold raw trace records back into structured
-/// timelines. These must match every `TraceKind` variant explicitly: a
-/// wildcard `_ =>` arm means a newly added kind compiles but silently
-/// disappears from reconstructed spans, breaking the
-/// exactly-one-terminal-state invariant without any test noticing.
-const TRACE_EXHAUSTIVE_MODULES: &[(&str, &[&str])] = &[("gage-obs", &["spans"])];
-
-/// (crate, module stems) allowed to flip node liveness with
-/// `NodeScheduler::set_up`: the node table itself (gage-core::node), the
-/// watchdog (gage-cluster::sim) and the fault-plan machinery
-/// (gage-cluster::faults). Anywhere else a direct call would bypass the
-/// watchdog's grace-period hysteresis and skip the NodeDown/NodeUp trace
-/// records the chaos suite replays.
-const SET_UP_MODULES: &[(&str, &[&str])] = &[
-    ("gage-core", &["node"]),
-    ("gage-cluster", &["sim", "faults"]),
-];
-
-/// Float-carrying field names whose equality comparison is almost always a
-/// bug in resource/credit math.
-const FLOAT_FIELDS: &[&str] = &[
-    "cpu_us",
-    "disk_us",
-    "net_bytes",
-    "credit",
-    "balance",
-    "deficit",
-    "grps",
-];
-
-/// Directory names never descended into.
-const SKIP_DIRS: &[&str] = &[
-    "target",
-    "vendor",
-    "fixtures",
-    ".git",
-    ".claude",
-    "related",
-    "node_modules",
-];
-
-/// One rule violation.
+/// One lint finding, anchored to a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (e.g. `hot-path-panic`).
+    /// Stable rule identifier (see the crate docs for the table).
     pub rule: &'static str,
-    /// Path relative to the linted root.
+    /// Path relative to the linted root, `/`-separated.
     pub file: String,
-    /// 1-based line number.
+    /// 1-based line of the offending token.
     pub line: usize,
+    /// 1-based column (in characters) of the offending token.
+    pub col: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// The trimmed source line the finding points at.
+    pub snippet: String,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
 
-/// Serializes findings as the machine-readable JSON report.
-pub fn report_json(findings: &[Finding]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-    let items: Vec<String> = findings
-        .iter()
-        .map(|f| {
-            format!(
-                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-                esc(f.rule),
-                esc(&f.file),
-                f.line,
-                esc(&f.message)
-            )
-        })
-        .collect();
-    format!(
-        "{{\"count\":{},\"findings\":[{}]}}",
-        findings.len(),
-        items.join(",")
-    )
-}
-
-/// Lints every package under `root` (manifests + `src/` trees) and returns
-/// all findings, sorted by file then line.
+/// Lints the workspace rooted at `root` and returns every raw finding
+/// (no baseline applied), sorted by `(file, line, col, rule)`.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors; unreadable UTF-8 files are skipped.
+/// Propagates filesystem errors; fails when `root` contains no
+/// `Cargo.toml` at all (a mistyped root must not report success).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut manifests = Vec::new();
-    find_manifests(root, &mut manifests)?;
-    if manifests.is_empty() {
-        // A mistyped root would otherwise report "0 findings" and pass.
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            format!("no Cargo.toml found under {}", root.display()),
-        ));
+    let ws = model::load(root)?;
+    let mut sink = rules::Sink::default();
+    for krate in &ws.crates {
+        rules::tokens::run(krate, &mut sink);
     }
-    let mut findings = Vec::new();
-    // (dep name, version, file, line) across manifests, for duplicates.
-    let mut literal_versions: Vec<(String, String, String, usize)> = Vec::new();
-
-    for manifest in &manifests {
-        let Ok(text) = fs::read_to_string(manifest) else {
-            continue;
-        };
-        let rel_manifest = rel(root, manifest);
-        lint_manifest(&text, &rel_manifest, &mut findings, &mut literal_versions);
-
-        let Some(package) = package_name(&text) else {
-            continue; // virtual workspace manifest: no sources of its own
-        };
-        let src = manifest.parent().map(|d| d.join("src"));
-        if let Some(src) = src {
-            if src.is_dir() {
-                lint_sources(root, &src, &package, &mut findings)?;
-            }
-        }
-    }
-
-    // Duplicated literal versions of the same dependency across manifests.
-    literal_versions.sort();
-    for pair in literal_versions.windows(2) {
-        let (a, b) = (&pair[0], &pair[1]);
-        if a.0 == b.0 {
-            findings.push(Finding {
-                rule: "dep-version",
-                file: b.2.clone(),
-                line: b.3,
-                message: format!(
-                    "dependency `{}` also pinned in {} (line {}); declare it once in [workspace.dependencies]",
-                    b.0, a.2, a.3
-                ),
-            });
-        }
-    }
-
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    rules::manifest::run(&ws, &mut sink);
+    rules::lane::run(&ws, &mut sink);
+    rules::rng::run(&ws, &mut sink);
+    rules::trace::run(&ws, &mut sink);
+    rules::panics::run(&ws, &mut sink);
+    // Meta-rule last: it audits what the sink recorded above.
+    rules::allows::run(&ws, &mut sink);
+    let mut findings = sink.findings;
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(findings)
 }
 
-fn rel(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root)
-        .unwrap_or(p)
-        .to_string_lossy()
-        .into_owned()
-}
-
-fn find_manifests(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let manifest = dir.join("Cargo.toml");
-    if manifest.is_file() {
-        out.push(manifest);
-    }
-    let entries = match fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(_) => return Ok(()),
-    };
-    let mut subdirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| !SKIP_DIRS.contains(&n) && !n.starts_with('.'))
-        })
-        .collect();
-    subdirs.sort();
-    for sub in subdirs {
-        find_manifests(&sub, out)?;
-    }
-    Ok(())
-}
-
-fn package_name(manifest: &str) -> Option<String> {
-    let mut in_package = false;
-    for line in manifest.lines() {
-        let t = line.trim();
-        if t.starts_with('[') {
-            in_package = t == "[package]";
-            continue;
-        }
-        if in_package {
-            if let Some(rest) = t.strip_prefix("name") {
-                let rest = rest.trim_start();
-                if let Some(rest) = rest.strip_prefix('=') {
-                    return Some(rest.trim().trim_matches('"').to_string());
-                }
-            }
-        }
-    }
-    None
-}
-
-// ---------------------------------------------------------------- manifests
-
-fn lint_manifest(
-    text: &str,
-    file: &str,
-    findings: &mut Vec<Finding>,
-    literal_versions: &mut Vec<(String, String, String, usize)>,
-) {
-    let mut section = String::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let t = raw.trim();
-        if t.starts_with('[') {
-            section = t.trim_matches(['[', ']']).to_string();
-            continue;
-        }
-        if !section.ends_with("dependencies") {
-            continue;
-        }
-        let Some((dep, value)) = t.split_once('=') else {
-            continue;
-        };
-        let dep = dep.trim().trim_matches('"').to_string();
-        let value = value.trim();
-        // `{ workspace = true }` / `{ path = ... }` / bare tables are fine.
-        let version = if let Some(v) = value.strip_prefix('"') {
-            Some(v.trim_end_matches('"').to_string())
-        } else if value.starts_with('{') && value.contains("version") {
-            value
-                .split("version")
-                .nth(1)
-                .and_then(|v| v.split('"').nth(1))
-                .map(|v| v.to_string())
-        } else {
-            None
-        };
-        let Some(version) = version else { continue };
-        if version.contains('*') {
-            findings.push(Finding {
-                rule: "dep-version",
-                file: file.to_string(),
-                line: line_no,
-                message: format!("wildcard version for `{dep}`: pin an exact requirement"),
-            });
-            continue;
-        }
-        if section == "workspace.dependencies" {
-            // The one legitimate home for literal versions.
-            continue;
-        }
-        findings.push(Finding {
-            rule: "dep-version",
-            file: file.to_string(),
-            line: line_no,
-            message: format!(
-                "`{dep}` pins \"{version}\" locally: inherit it with `workspace = true`"
-            ),
-        });
-        literal_versions.push((dep, version, file.to_string(), line_no));
+/// Lints the workspace and applies `lint-baseline.json` from `root` when
+/// present. Returns `(findings, suppressed)` where `findings` includes any
+/// `stale-baseline` entries and `suppressed` counts baselined findings.
+///
+/// # Errors
+///
+/// As [`lint_workspace`]; additionally fails when a baseline file exists
+/// but is malformed (a broken baseline must not silently un-suppress).
+pub fn lint_workspace_baselined(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let findings = lint_workspace(root)?;
+    match Baseline::load(root)? {
+        Some(b) => Ok(b.apply(findings)),
+        None => Ok((findings, 0)),
     }
 }
 
-// ------------------------------------------------------------------ sources
-
-fn lint_sources(
-    root: &Path,
-    src: &Path,
-    package: &str,
-    findings: &mut Vec<Finding>,
-) -> io::Result<()> {
-    let mut files = Vec::new();
-    collect_rs(src, &mut files)?;
-    files.sort();
-    for path in files {
-        let Ok(text) = fs::read_to_string(&path) else {
-            continue;
-        };
-        let rel_path = rel(root, &path);
-        let is_bin = rel_path.contains("/bin/") || rel_path.ends_with("main.rs");
-        let is_lib_root = path.ends_with("src/lib.rs");
-        lint_file(&text, &rel_path, package, is_bin, is_lib_root, findings);
-    }
-    Ok(())
+/// Renders findings as the `gage-lint-v2` JSON report (see [`report`]).
+#[must_use]
+pub fn report_json(findings: &[Finding]) -> String {
+    report::to_json(findings)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)?.flatten() {
-        let p = entry.path();
-        if p.is_dir() {
-            collect_rs(&p, out)?;
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-    Ok(())
-}
-
-struct FileContext<'a> {
-    package: &'a str,
-    file: &'a str,
-    /// Binary source (`src/bin/`, `main.rs`): `no-print` does not apply.
-    is_bin: bool,
-    /// Stem of the file, e.g. `scheduler` for `src/scheduler.rs`.
-    stem: String,
-}
-
-fn lint_file(
-    text: &str,
-    file: &str,
-    package: &str,
-    is_bin: bool,
-    is_lib_root: bool,
-    findings: &mut Vec<Finding>,
-) {
-    let raw_lines: Vec<&str> = text.lines().collect();
-    let code_lines = strip_lines(&raw_lines);
-    let test_mask = test_block_mask(&code_lines);
-    let stem = Path::new(file)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    let ctx = FileContext {
-        package,
-        file,
-        is_bin,
-        stem,
-    };
-
-    let file_allows: Vec<String> = raw_lines
-        .iter()
-        .take(10)
-        .flat_map(|l| parse_allows(l, "lint:allow-file("))
-        .collect();
-
-    if is_lib_root && !file_allows.iter().any(|r| r == "crate-attrs") {
-        for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-            if !raw_lines.iter().any(|l| l.trim() == attr) {
-                findings.push(Finding {
-                    rule: "crate-attrs",
-                    file: file.to_string(),
-                    line: 1,
-                    message: format!("library crate `{package}` is missing `{attr}`"),
-                });
-            }
-        }
-    }
-
-    for (idx, code) in code_lines.iter().enumerate() {
-        if test_mask[idx] {
-            continue;
-        }
-        let raw = raw_lines[idx];
-        let allows = parse_allows(raw, "lint:allow(");
-        let mut emit = |rule: &'static str, message: String| {
-            if !allows.iter().any(|r| r == rule) {
-                findings.push(Finding {
-                    rule,
-                    file: ctx.file.to_string(),
-                    line: idx + 1,
-                    message,
-                });
-            }
-        };
-        check_line(&ctx, code, &mut emit);
-    }
-}
-
-fn check_line(ctx: &FileContext<'_>, code: &str, emit: &mut dyn FnMut(&'static str, String)) {
-    if DETERMINISM_CRATES.contains(&ctx.package) {
-        for clock in ["Instant", "SystemTime"] {
-            if has_word(code, clock) {
-                emit(
-                    "determinism-clock",
-                    format!("`{clock}` is a wall clock; simulated components must use SimTime"),
-                );
-            }
-        }
-        for rng in ["thread_rng", "rand::random"] {
-            if has_word(code, rng) {
-                emit(
-                    "determinism-rng",
-                    format!("`{rng}` is unseeded; draw from an explicitly seeded StdRng"),
-                );
-            }
-        }
-        for map in ["HashMap", "HashSet"] {
-            if has_word(code, map) {
-                emit(
-                    "determinism-hash-order",
-                    format!("`{map}` iteration order varies per process; use BTreeMap/BTreeSet"),
-                );
-            }
-        }
-    }
-
-    let hot = HOT_PATH_MODULES
-        .iter()
-        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
-    if hot {
-        for needle in [
-            ".unwrap()",
-            ".expect(",
-            "panic!(",
-            "todo!(",
-            "unimplemented!(",
-        ] {
-            if code.contains(needle) {
-                emit(
-                    "hot-path-panic",
-                    format!(
-                        "`{}` can panic mid-connection; handle the None/Err case",
-                        needle.trim_start_matches('.').trim_end_matches('(')
-                    ),
-                );
-            }
-        }
-        if has_literal_index(code) {
-            emit(
-                "hot-path-index",
-                "indexing by literal can panic on short input; use get() or check length"
-                    .to_string(),
-            );
-        }
-    }
-
-    let btree_hot = HOT_PATH_BTREE_MODULES
-        .iter()
-        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
-    if btree_hot {
-        for tree in ["BTreeMap", "BTreeSet"] {
-            if has_word(code, tree) {
-                emit(
-                    "hot-path-btree",
-                    format!(
-                        "`{tree}` puts an O(log n) walk on the per-packet path; \
-                         use gage_collections::DetMap or Slab"
-                    ),
-                );
-            }
-        }
-    }
-
-    if !ctx.is_bin {
-        for print in ["println!", "eprintln!", "dbg!"] {
-            if has_word(code, print) {
-                emit(
-                    "no-print",
-                    format!("`{print}` in library code; return data or use the caller's sink"),
-                );
-            }
-        }
-    }
-
-    let obs = OBS_MODULES
-        .iter()
-        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
-    if obs && !ctx.is_bin {
-        let adhoc = ["print!", "eprint!"].iter().any(|t| has_word(code, t))
-            || code.contains("stdout()")
-            || code.contains("stderr()");
-        if adhoc {
-            emit(
-                "obs-no-adhoc-print",
-                "ad-hoc process output in an instrumented module; \
-                 emit a TraceEvent or Registry metric instead"
-                    .to_string(),
-            );
-        }
-    }
-
-    let reconstructor = TRACE_EXHAUSTIVE_MODULES
-        .iter()
-        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
-    if reconstructor && has_wildcard_arm(code) {
-        emit(
-            "trace-kind-exhaustive",
-            "wildcard `_ =>` arm in a trace reconstructor; match every TraceKind \
-             variant explicitly so new kinds fail to compile instead of silently \
-             vanishing from timelines"
-                .to_string(),
-        );
-    }
-
-    let liveness_ok = SET_UP_MODULES
-        .iter()
-        .any(|(pkg, stems)| *pkg == ctx.package && stems.contains(&ctx.stem.as_str()));
-    if !liveness_ok && code.contains(".set_up(") {
-        emit(
-            "watchdog-set-up",
-            "direct node-liveness flip; only the watchdog and FaultPlan modules may \
-             call set_up (transitions must carry NodeDown/NodeUp traces)"
-                .to_string(),
-        );
-    }
-
-    if ctx.package == "gage-core" && has_float_eq(code) {
-        emit(
-            "float-eq",
-            "exact float equality in resource/credit math; compare with a tolerance".to_string(),
-        );
-    }
-}
-
-// ------------------------------------------------------------ line analysis
-
-/// Strips comments and string-literal *contents* (quotes are kept so tokens
-/// stay separated), tracking block comments across lines.
-fn strip_lines(raw: &[&str]) -> Vec<String> {
-    let mut in_block = 0usize;
-    raw.iter().map(|l| strip_line(l, &mut in_block)).collect()
-}
-
-fn strip_line(line: &str, in_block: &mut usize) -> String {
-    let b = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < b.len() {
-        if *in_block > 0 {
-            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                *in_block -= 1;
-                i += 2;
-            } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                *in_block += 1;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => break, // line comment
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                *in_block += 1;
-                i += 2;
-            }
-            b'"' => {
-                out.push('"');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' {
-                        i += 2;
-                        out.push(' ');
-                    } else if b[i] == b'"' {
-                        out.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '\'') vs lifetime ('a).
-                let rest = &b[i + 1..];
-                let lit_len = if rest.first() == Some(&b'\\') {
-                    rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 3)
-                } else if rest.len() >= 2 && rest[1] == b'\'' {
-                    Some(3)
-                } else {
-                    None
-                };
-                match lit_len {
-                    Some(n) => {
-                        out.push('\'');
-                        for _ in 0..n.saturating_sub(2) {
-                            out.push(' ');
-                        }
-                        out.push('\'');
-                        i += n;
-                    }
-                    None => {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-            }
-            c => {
-                out.push(c as char);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-fn is_ident(c: u8) -> bool {
-    c == b'_' || c.is_ascii_alphanumeric()
-}
-
-/// True if `needle` occurs in `code` with non-identifier characters (or the
-/// line boundary) on both sides.
-fn has_word(code: &str, needle: &str) -> bool {
-    let (c, n) = (code.as_bytes(), needle.as_bytes());
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(needle) {
-        let start = from + pos;
-        let end = start + n.len();
-        let left_ok = start == 0 || !is_ident(c[start - 1]);
-        let right_ok = end == c.len() || !is_ident(c[end]);
-        if left_ok && right_ok {
-            return true;
-        }
-        from = start + 1;
-    }
-    false
-}
-
-/// Detects `ident[123]`-style literal indexing.
-fn has_literal_index(code: &str) -> bool {
-    let b = code.as_bytes();
-    for i in 1..b.len() {
-        if b[i] != b'[' {
-            continue;
-        }
-        let prev = b[i - 1];
-        if !(is_ident(prev) || prev == b']' || prev == b')') {
-            continue;
-        }
-        let mut j = i + 1;
-        let mut digits = 0;
-        while j < b.len() && b[j].is_ascii_digit() {
-            digits += 1;
-            j += 1;
-        }
-        if digits > 0 && j < b.len() && b[j] == b']' {
-            return true;
-        }
-    }
-    false
-}
-
-/// Detects a wildcard match arm: `=>` whose pattern, after trimming, is a
-/// lone `_` token (`_ =>`, `_=>`). Bindings like `Some(_) =>` or named
-/// catch-alls like `other =>` do not count — only the bare wildcard that
-/// swallows unhandled `TraceKind` variants.
-fn has_wildcard_arm(code: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find("=>") {
-        let at = from + pos;
-        let before = code[..at].trim_end();
-        if let Some(head) = before.strip_suffix('_') {
-            let prev = head.as_bytes().last().copied();
-            if prev.is_none_or(|c| !is_ident(c)) {
-                return true;
-            }
-        }
-        from = at + 2;
-    }
-    false
-}
-
-/// Detects `==`/`!=` with a float literal or a known float field adjacent.
-fn has_float_eq(code: &str) -> bool {
-    let b = code.as_bytes();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let op = (b[i] == b'=' || b[i] == b'!') && b[i + 1] == b'=';
-        // Skip `==` inside `<=`, `>=` (different first byte), `=>`, `===`.
-        let triple = i + 2 < b.len() && b[i + 2] == b'=';
-        if !op || triple || (i > 0 && b[i - 1] == b'=') {
-            i += 1;
-            continue;
-        }
-        let left = token_left(code, i);
-        let right = token_right(code, i + 2);
-        if is_float_token(&left) || is_float_token(&right) {
-            return true;
-        }
-        i += 2;
-    }
-    false
-}
-
-fn token_left(code: &str, op_start: usize) -> String {
-    let b = code.as_bytes();
-    let mut j = op_start;
-    while j > 0 && b[j - 1] == b' ' {
-        j -= 1;
-    }
-    let end = j;
-    while j > 0 && (is_ident(b[j - 1]) || b[j - 1] == b'.') {
-        j -= 1;
-    }
-    code[j..end].to_string()
-}
-
-fn token_right(code: &str, after_op: usize) -> String {
-    let b = code.as_bytes();
-    let mut j = after_op;
-    while j < b.len() && b[j] == b' ' {
-        j += 1;
-    }
-    let start = j;
-    if j < b.len() && b[j] == b'-' {
-        j += 1;
-    }
-    while j < b.len() && (is_ident(b[j]) || b[j] == b'.') {
-        j += 1;
-    }
-    code[start..j].to_string()
-}
-
-fn is_float_token(tok: &str) -> bool {
-    let tok = tok.strip_prefix('-').unwrap_or(tok);
-    if tok.is_empty() {
-        return false;
-    }
-    // A float literal: digits, exactly one dot, optional f32/f64 suffix.
-    let lit = tok.trim_end_matches("f64").trim_end_matches("f32");
-    let is_literal = lit.as_bytes()[0].is_ascii_digit()
-        && lit.bytes().filter(|&c| c == b'.').count() == 1
-        && lit
-            .bytes()
-            .all(|c| c.is_ascii_digit() || c == b'.' || c == b'_');
-    if is_literal {
-        return true;
-    }
-    // A known float-carrying field access (`self.balance`, `v.cpu_us`, …).
-    FLOAT_FIELDS.iter().any(|f| {
-        tok.ends_with(f) && {
-            let prefix_len = tok.len() - f.len();
-            prefix_len == 0 || {
-                let prev = tok.as_bytes()[prefix_len - 1];
-                prev == b'.' || prev == b'_'
-            }
-        }
-    })
-}
-
-fn parse_allows(raw: &str, marker: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = raw[from..].find(marker) {
-        let start = from + pos + marker.len();
-        if let Some(close) = raw[start..].find(')') {
-            for rule in raw[start..start + close].split(',') {
-                out.push(rule.trim().to_string());
-            }
-            from = start + close;
-        } else {
-            break;
-        }
-    }
-    out
-}
-
-/// Marks lines that belong to `#[cfg(test)]`-gated blocks.
-fn test_block_mask(code_lines: &[String]) -> Vec<bool> {
-    let n = code_lines.len();
-    let mut mask = vec![false; n];
-    let mut i = 0;
-    while i < n {
-        if !code_lines[i].contains("#[cfg(test)]") {
-            i += 1;
-            continue;
-        }
-        // Find the block the attribute gates; give up after a few lines if
-        // no brace appears (attribute on a braceless item).
-        let mut j = i;
-        let mut depth: i64 = 0;
-        let mut started = false;
-        while j < n {
-            for c in code_lines[j].bytes() {
-                match c {
-                    b'{' => {
-                        depth += 1;
-                        started = true;
-                    }
-                    b'}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            mask[j] = true;
-            if started && depth <= 0 {
-                break;
-            }
-            if !started && j > i + 3 {
-                break;
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-    mask
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn strip1(line: &str) -> String {
-        let mut blk = 0;
-        strip_line(line, &mut blk)
-    }
-
-    #[test]
-    fn stripping_removes_comments_and_string_contents() {
-        assert_eq!(strip1("let x = 1; // HashMap here"), "let x = 1; ");
-        assert_eq!(strip1(r#"let s = "HashMap";"#), r#"let s = "       ";"#);
-        assert_eq!(strip1("a /* HashMap */ b"), "a  b");
-        assert_eq!(strip1("if c == '\"' { }"), "if c == ' ' { }");
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let lines = ["start /* HashMap", "still HashMap", "done */ tail"];
-        let stripped = strip_lines(&lines);
-        assert_eq!(stripped[0], "start ");
-        assert_eq!(stripped[1], "");
-        assert_eq!(stripped[2], " tail");
-    }
-
-    #[test]
-    fn word_boundaries_respected() {
-        assert!(has_word("use std::collections::HashMap;", "HashMap"));
-        assert!(!has_word("let my_hashmap_like = 1;", "HashMap"));
-        assert!(!has_word("eprintln!(\"x\")", "println!"));
-        assert!(has_word("eprintln!(\"x\")", "eprintln!"));
-        assert!(has_word("let r = rand::random();", "rand::random"));
-    }
-
-    #[test]
-    fn literal_index_detection() {
-        assert!(has_literal_index("let x = data[4];"));
-        assert!(has_literal_index("w[0] + w[1]"));
-        assert!(!has_literal_index("let a = [0u8; 16];"));
-        assert!(!has_literal_index("map[&key]"));
-        assert!(!has_literal_index("v[i]"));
-    }
-
-    #[test]
-    fn float_eq_detection() {
-        assert!(has_float_eq("if x == 0.0 {"));
-        assert!(has_float_eq("if 1.5f64 != y {"));
-        assert!(has_float_eq("a.cpu_us == b.cpu_us"));
-        assert!(has_float_eq("self.balance != other.balance"));
-        assert!(!has_float_eq("if n == 0 {"));
-        assert!(!has_float_eq("x <= 0.0"));
-        assert!(!has_float_eq(
-            "a.partial_cmp(&0.0) != Some(Ordering::Greater)"
-        ));
-        assert!(!has_float_eq("let f = |a, b| a == b;"));
-    }
-
-    #[test]
-    fn allow_parsing() {
-        assert_eq!(
-            parse_allows("x // lint:allow(no-print)", "lint:allow("),
-            vec!["no-print"]
-        );
-        assert_eq!(
-            parse_allows("x // lint:allow(a, b)", "lint:allow("),
-            vec!["a", "b"]
-        );
-        assert!(parse_allows("x // lint:allow-file(a)", "lint:allow(").is_empty());
-    }
-
-    #[test]
-    fn test_mask_covers_cfg_test_blocks() {
-        let lines: Vec<String> = [
-            "fn real() {}",
-            "#[cfg(test)]",
-            "mod tests {",
-            "    fn t() { x.unwrap(); }",
-            "}",
-            "fn after() {}",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let mask = test_block_mask(&lines);
-        assert_eq!(mask, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn manifest_version_extraction() {
-        let mut findings = Vec::new();
-        let mut lits = Vec::new();
-        let toml = r#"
-[package]
-name = "demo"
-
-[dependencies]
-good = { workspace = true }
-local = { path = "../x" }
-pinned = "1.2"
-wild = "*"
-inline = { version = "0.3", features = ["a"] }
-"#;
-        lint_manifest(toml, "Cargo.toml", &mut findings, &mut lits);
-        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-        assert_eq!(rules, vec!["dep-version"; 3]);
-        assert!(findings[1].message.contains("wildcard"));
-        assert_eq!(lits.len(), 2, "pinned + inline recorded: {lits:?}");
-    }
+/// Renders findings as a SARIF 2.1.0 log (see [`report`]).
+#[must_use]
+pub fn report_sarif(findings: &[Finding]) -> String {
+    report::to_sarif(findings)
 }

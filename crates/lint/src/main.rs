@@ -1,38 +1,56 @@
-//! CLI for the Gage workspace invariant checker.
+//! CLI for the Gage workspace static analyzer.
 //!
 //! ```text
-//! gage-lint [--json] [ROOT]
+//! gage-lint [--json | --sarif] [--no-baseline] [ROOT]
 //! ```
 //!
 //! Lints the workspace rooted at `ROOT` (default: the current directory,
-//! which is the workspace root under `cargo run -p gage-lint`). Prints one
-//! line per finding — or a JSON report with `--json` — and exits non-zero
-//! if any rule fired.
+//! which is the workspace root under `cargo run -p gage-lint`). The
+//! baseline at `ROOT/lint-baseline.json` is applied unless
+//! `--no-baseline` is given; stale baseline entries surface as findings.
+//! Prints one line per finding — or the `gage-lint-v2` JSON report with
+//! `--json`, or a SARIF 2.1.0 log with `--sarif` — and exits non-zero if
+//! any non-baselined finding remains.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: gage-lint [--json | --sarif] [--no-baseline] [ROOT]";
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut sarif = false;
+    let mut no_baseline = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--no-baseline" => no_baseline = true,
             "--help" | "-h" => {
-                println!("usage: gage-lint [--json] [ROOT]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ if root.is_none() && !arg.starts_with('-') => root = Some(PathBuf::from(arg)),
             other => {
-                eprintln!("unexpected argument `{other}`; usage: gage-lint [--json] [ROOT]");
+                eprintln!("unexpected argument `{other}`; {USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    if json && sarif {
+        eprintln!("--json and --sarif are mutually exclusive; {USAGE}");
+        return ExitCode::FAILURE;
+    }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
 
-    let findings = match gage_lint::lint_workspace(&root) {
-        Ok(f) => f,
+    let result = if no_baseline {
+        gage_lint::lint_workspace(&root).map(|f| (f, 0))
+    } else {
+        gage_lint::lint_workspace_baselined(&root)
+    };
+    let (findings, suppressed) = match result {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("gage-lint: cannot lint {}: {e}", root.display());
             return ExitCode::FAILURE;
@@ -40,13 +58,15 @@ fn main() -> ExitCode {
     };
 
     if json {
-        println!("{}", gage_lint::report_json(&findings));
+        print!("{}", gage_lint::report_json(&findings));
+    } else if sarif {
+        print!("{}", gage_lint::report_sarif(&findings));
     } else {
         for f in &findings {
             println!("{f}");
         }
         println!(
-            "gage-lint: {} finding(s) in {}",
+            "gage-lint: {} finding(s) in {} ({suppressed} baselined)",
             findings.len(),
             root.display()
         );

@@ -1,0 +1,167 @@
+//! Report emitters: human text, `gage-lint-v2` JSON, and SARIF 2.1.0.
+//!
+//! Both machine formats are byte-deterministic: findings are emitted in
+//! their (already sorted) order, maps are never involved, and no
+//! timestamps, absolute paths or environment details appear anywhere in
+//! the output. Two runs over the same tree produce identical bytes — the
+//! golden tests pin that down.
+
+use std::fmt::Write as _;
+
+use crate::rules::RULES;
+use crate::Finding;
+
+/// Schema tag carried by the JSON report.
+pub const REPORT_SCHEMA: &str = "gage-lint-v2";
+
+/// Escapes a string for inclusion in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as the `gage-lint-v2` JSON document.
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{REPORT_SCHEMA}\",");
+    let _ = writeln!(out, "  \"count\": {},", findings.len());
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\"",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            f.col,
+            esc(&f.message),
+            esc(&f.snippet),
+        );
+        out.push('}');
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 log (one run, tool `gage-lint`).
+///
+/// The rule table comes from [`RULES`], so every result's `ruleId` resolves
+/// to a driver rule with a description — which is what turns CI uploads
+/// into annotated findings instead of bare strings.
+#[must_use]
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"gage-lint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(r.id),
+            esc(r.summary),
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}, \
+             \"snippet\": {{\"text\": \"{}\"}}}}}}}}]}}",
+            esc(f.rule),
+            esc(&f.message),
+            esc(&f.file),
+            f.line.max(1),
+            f.col.max(1),
+            esc(&f.snippet),
+        );
+    }
+    if findings.is_empty() {
+        out.push_str("]\n    }\n  ]\n}\n");
+    } else {
+        out.push_str("\n      ]\n    }\n  ]\n}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "no-print",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 4,
+            col: 9,
+            message: "`println!` in library code; say \"no\"".to_string(),
+            snippet: "println!(\"hi\");".to_string(),
+        }]
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let a = to_json(&sample());
+        let b = to_json(&sample());
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"gage-lint-v2\""));
+        assert!(a.contains("say \\\"no\\\""));
+    }
+
+    #[test]
+    fn sarif_contains_rule_table_and_location() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"no-print\""));
+        assert!(s.contains("\"startLine\": 4"));
+        // Every registered rule appears in the driver table.
+        for r in RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.id)));
+        }
+    }
+
+    #[test]
+    fn empty_reports_are_well_formed() {
+        assert!(to_json(&[]).contains("\"count\": 0"));
+        assert!(to_sarif(&[]).contains("\"results\": []"));
+    }
+}

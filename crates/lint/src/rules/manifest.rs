@@ -1,0 +1,110 @@
+//! `dep-version`: wildcard versions, literal versions outside
+//! `[workspace.dependencies]`, and the same dependency pinned in two
+//! manifests.
+
+use crate::model::Workspace;
+use crate::rules::Sink;
+
+/// Runs the manifest rules over every `Cargo.toml` in the workspace.
+pub fn run(ws: &Workspace, sink: &mut Sink) {
+    // (dep name, version, file, line) across manifests, for duplicates.
+    let mut literal_versions: Vec<(String, String, String, usize)> = Vec::new();
+
+    let mut manifests: Vec<(&str, &str)> = ws
+        .crates
+        .iter()
+        .map(|c| (c.manifest_rel.as_str(), c.manifest_text.as_str()))
+        .chain(
+            ws.virtual_manifests
+                .iter()
+                .map(|(rel, text)| (rel.as_str(), text.as_str())),
+        )
+        .collect();
+    manifests.sort();
+
+    for (rel, text) in &manifests {
+        check_manifest(text, rel, sink, &mut literal_versions);
+    }
+
+    // Duplicated literal versions of the same dependency across manifests.
+    literal_versions.sort();
+    for pair in literal_versions.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if a.0 == b.0 {
+            let text = manifests
+                .iter()
+                .find(|(rel, _)| *rel == b.2)
+                .map_or("", |(_, text)| *text);
+            sink.emit_manifest(
+                &b.2,
+                text,
+                "dep-version",
+                b.3,
+                format!(
+                    "dependency `{}` also pinned in {} (line {}); declare it once in [workspace.dependencies]",
+                    b.0, a.2, a.3
+                ),
+            );
+        }
+    }
+}
+
+fn check_manifest(
+    text: &str,
+    file: &str,
+    sink: &mut Sink,
+    literal_versions: &mut Vec<(String, String, String, usize)>,
+) {
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let t = raw.trim();
+        if t.starts_with('[') {
+            section = t.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !section.ends_with("dependencies") {
+            continue;
+        }
+        let Some((dep, value)) = t.split_once('=') else {
+            continue;
+        };
+        let dep = dep.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        // `{ workspace = true }` / `{ path = ... }` / bare tables are fine.
+        let version = if let Some(v) = value.strip_prefix('"') {
+            Some(v.trim_end_matches('"').to_string())
+        } else if value.starts_with('{') && value.contains("version") {
+            value
+                .split("version")
+                .nth(1)
+                .and_then(|v| v.split('"').nth(1))
+                .map(|v| v.to_string())
+        } else {
+            None
+        };
+        let Some(version) = version else { continue };
+        if version.contains('*') {
+            sink.emit_manifest(
+                file,
+                text,
+                "dep-version",
+                line_no,
+                format!("wildcard version for `{dep}`: pin an exact requirement"),
+            );
+            continue;
+        }
+        if section == "workspace.dependencies" {
+            // The one legitimate home for literal versions.
+            continue;
+        }
+        sink.emit_manifest(
+            file,
+            text,
+            "dep-version",
+            line_no,
+            format!("`{dep}` pins \"{version}\" locally: inherit it with `workspace = true`"),
+        );
+        literal_versions.push((dep, version, file.to_string(), line_no));
+    }
+}

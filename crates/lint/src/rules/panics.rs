@@ -1,0 +1,219 @@
+//! `panic-reachability`: call-graph walk from the hot-path entry points,
+//! flagging panicking constructs in reachable callees.
+//!
+//! The per-file `hot-path-panic` rule only sees the modules listed in
+//! `HOT_PATH_MODULES`. But `run_cycle_into` can just as easily die in a
+//! helper it calls two crates away — the panic moved, it didn't go away.
+//! This pass builds a name-based call graph (ident-before-`(` sites,
+//! resolved against workspace `fn` definitions inside the caller's
+//! dependency closure), walks it from the entry points below, and reports
+//! `unwrap`/`expect`/`panic!`-class constructs and literal indexing in any
+//! reachable function that the per-file rule does not already cover. Each
+//! finding carries the discovery call path so the report reads as a
+//! reachability witness, not a bare location.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, Workspace};
+use crate::parse::{Item, ItemKind};
+use crate::rules::{self, Sink};
+
+/// (crate, fn name) pairs the per-request path enters through.
+pub const ENTRIES: &[(&str, &str)] = &[
+    ("gage-core", "run_cycle_into"),
+    ("gage-des", "schedule"),
+    ("gage-des", "pop"),
+    ("gage-net", "remap_outgoing"),
+    ("gage-net", "remap_incoming"),
+];
+
+/// Method names too common to resolve by name alone — almost always the
+/// std-library method, not a workspace function. Entries are still valid
+/// seeds; this list only prunes call *edges*.
+const AMBIENT_NAMES: &[&str] = &[
+    "new",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "next",
+    "clone",
+    "default",
+    "from",
+    "into",
+    "iter",
+    "fmt",
+    "min",
+    "max",
+    "map",
+    "filter",
+    "take",
+    "drain",
+    "clear",
+    "contains",
+    "contains_key",
+    "extend",
+    "drop",
+    "as_ref",
+    "as_str",
+    "to_string",
+    "write",
+    "read",
+    "parse",
+    "count",
+    "sum",
+    "abs",
+    "eq",
+    "cmp",
+];
+
+/// Runs the panic reachability analysis over the whole workspace.
+pub fn run(ws: &Workspace, sink: &mut Sink) {
+    // fn name → every non-test definition site.
+    let mut fns: BTreeMap<&str, Vec<(&str, &FileModel, &Item)>> = BTreeMap::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for item in &file.items {
+                if item.kind == ItemKind::Fn && !item.is_test {
+                    fns.entry(item.name.as_str()).or_default().push((
+                        krate.package.as_str(),
+                        file,
+                        item,
+                    ));
+                }
+            }
+        }
+    }
+    let closures: BTreeMap<&str, BTreeSet<String>> = ws
+        .crates
+        .iter()
+        .map(|c| (c.package.as_str(), ws.dep_closure(&c.package)))
+        .collect();
+
+    let mut queue: VecDeque<(&str, &FileModel, &Item, &str, Vec<String>)> = VecDeque::new();
+    for (entry_pkg, entry_fn) in ENTRIES {
+        if let Some(defs) = fns.get(entry_fn) {
+            for (pkg, file, item) in defs {
+                if pkg == entry_pkg {
+                    queue.push_back((pkg, file, item, entry_fn, vec![(*entry_fn).to_string()]));
+                }
+            }
+        }
+    }
+
+    let mut visited: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut reported: BTreeSet<(String, usize, usize)> = BTreeSet::new();
+
+    while let Some((pkg, file, item, entry, path)) = queue.pop_front() {
+        if !visited.insert((file.rel.clone(), item.line)) {
+            continue;
+        }
+        // Panic sites — unless the per-file hot-path rules already own this
+        // module (double-reporting the same token helps nobody).
+        let hot = rules::in_scope(rules::HOT_PATH_MODULES, pkg, &file.stem);
+        if !hot {
+            for (line, col, what) in panic_sites(file, item) {
+                if reported.insert((file.rel.clone(), line, col)) {
+                    sink.emit(
+                        file,
+                        "panic-reachability",
+                        line,
+                        col,
+                        format!(
+                            "{what} can panic and is reachable from hot-path entry \
+                             `{entry}` ({}); handle the failure off the per-request path",
+                            path.join(" -> "),
+                        ),
+                    );
+                }
+            }
+        }
+        // Call edges.
+        for i in item.body.clone() {
+            if i >= file.toks.len() || file.test_mask[i] {
+                continue;
+            }
+            if file.toks[i].kind != TokKind::Ident || txt(file, i + 1) != "(" {
+                continue;
+            }
+            let callee = file.toks[i].text(&file.src);
+            if callee == item.name || AMBIENT_NAMES.contains(&callee) {
+                continue;
+            }
+            if i > 0 && txt(file, i - 1) == "fn" {
+                continue; // nested definition, not a call
+            }
+            let Some(defs) = fns.get(callee) else {
+                continue;
+            };
+            for (cpkg, cfile, citem) in defs {
+                let in_closure = closures.get(pkg).is_some_and(|c| c.contains(*cpkg));
+                if !in_closure {
+                    continue;
+                }
+                if visited.contains(&(cfile.rel.clone(), citem.line)) {
+                    continue;
+                }
+                let mut p = path.clone();
+                p.push(callee.to_string());
+                queue.push_back((cpkg, cfile, citem, entry, p));
+            }
+        }
+    }
+}
+
+/// Panicking constructs inside one function body: returns
+/// `(line, col, description)` per site.
+fn panic_sites(file: &FileModel, item: &Item) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for i in item.body.clone() {
+        if i >= file.toks.len() || file.test_mask[i] {
+            continue;
+        }
+        let tok = file.toks[i];
+        let text = tok.text(&file.src);
+        match tok.kind {
+            TokKind::Ident
+                if matches!(text, "panic" | "todo" | "unimplemented")
+                    && txt(file, i + 1) == "!" =>
+            {
+                out.push((tok.line, tok.col, format!("`{text}!`")));
+            }
+            TokKind::Punct if text == "." => {
+                let name = txt(file, i + 1);
+                let open = txt(file, i + 2) == "(";
+                if open && name == "unwrap" && txt(file, i + 3) == ")" {
+                    out.push((tok.line, tok.col, "`unwrap`".to_string()));
+                }
+                if open && name == "expect" {
+                    out.push((tok.line, tok.col, "`expect`".to_string()));
+                }
+            }
+            TokKind::Punct if text == "[" && i > item.body.start => {
+                let prev_kind = file.toks.get(i - 1).map(|t| t.kind);
+                let prev = txt(file, i - 1);
+                let prev_ok = prev_kind == Some(TokKind::Ident) || prev == ")" || prev == "]";
+                if prev_ok
+                    && file.toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Int)
+                    && txt(file, i + 2) == "]"
+                {
+                    out.push((tok.line, tok.col, "indexing by literal".to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn txt(file: &FileModel, i: usize) -> &str {
+    file.toks
+        .get(i)
+        .map(|t| t.text(&file.src))
+        .unwrap_or_default()
+}

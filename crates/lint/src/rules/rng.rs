@@ -1,0 +1,197 @@
+//! `rng-stream-discipline`: seeded RNGs must derive per-component streams
+//! with `SimRng::split("<stream>")`, and no stream label may be aliased
+//! across two modules.
+//!
+//! The repo's determinism story hangs on named RNG streams: each component
+//! draws from its own `split`-derived stream, so adding a consumer (or
+//! reordering draws) in one component cannot shift the sequence seen by
+//! another. Two things break that quietly: constructing a root
+//! `SimRng::seed_from(seed)` and drawing from it directly (every consumer
+//! now shares one sequence), and two modules deriving the same label (their
+//! streams are identical, which correlates what should be independent
+//! noise). Both are invisible to the compiler; this pass finds them.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, Workspace};
+use crate::rules::{self, Sink};
+
+/// The crate that owns `SimRng`; its constructors and `Simulation::new`
+/// root-seeding are the one legitimate home for underived `seed_from`.
+const RNG_HOME_CRATE: &str = "gage-des";
+
+/// Runs the RNG stream-discipline analysis over the whole workspace.
+pub fn run(ws: &Workspace, sink: &mut Sink) {
+    // label → (file rel, line, col) of every derivation site, for aliasing.
+    let mut streams: BTreeMap<String, Vec<(String, usize, usize)>> = BTreeMap::new();
+    // Emit anchors for the aliasing pass, resolved after collection.
+    let mut files: BTreeMap<String, &FileModel> = BTreeMap::new();
+
+    for krate in &ws.crates {
+        if !rules::DETERMINISM_CRATES.contains(&krate.package.as_str()) {
+            continue;
+        }
+        let home = krate.package == RNG_HOME_CRATE;
+        for file in &krate.files {
+            files.insert(file.rel.clone(), file);
+            scan_file(file, home, &mut streams, sink);
+        }
+    }
+
+    // A label derived in two distinct modules aliases their streams.
+    for (label, mut sites) in streams {
+        sites.sort();
+        sites.dedup();
+        let first_file = sites[0].0.clone();
+        if sites.iter().all(|(f, _, _)| *f == first_file) {
+            continue;
+        }
+        let (f0, l0, _) = sites[0].clone();
+        for (f, line, col) in sites.into_iter().skip(1) {
+            if f == f0 {
+                continue;
+            }
+            if let Some(file) = files.get(&f) {
+                sink.emit(
+                    file,
+                    "rng-stream-discipline",
+                    line,
+                    col,
+                    format!(
+                        "stream label \"{label}\" is also derived in {f0} (line {l0}); two \
+                         components sharing a label draw identical sequences — give each \
+                         component a unique stream label"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn scan_file(
+    file: &FileModel,
+    home: bool,
+    streams: &mut BTreeMap<String, Vec<(String, usize, usize)>>,
+    sink: &mut Sink,
+) {
+    for i in 0..file.toks.len() {
+        if file.test_mask[i] || file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let tok = file.toks[i];
+        let text = tok.text(&file.src);
+
+        // Record every `.split("snake_case")` as a stream derivation site.
+        if text == "split" && txt(file, i + 1) == "(" {
+            if let Some(label) = snake_label(file, i + 2) {
+                if txt(file, i + 3) == ")" {
+                    streams
+                        .entry(label)
+                        .or_default()
+                        .push((file.rel.clone(), tok.line, tok.col));
+                }
+            }
+            continue;
+        }
+
+        if home {
+            continue; // gage-des constructs the root stream; nothing below applies.
+        }
+
+        if text == "seed_from_u64" {
+            sink.emit(
+                file,
+                "rng-stream-discipline",
+                tok.line,
+                tok.col,
+                "raw `StdRng::seed_from_u64` bypasses named stream derivation; use \
+                 `SimRng::seed_from(seed).split(\"<stream>\")`"
+                    .to_string(),
+            );
+            continue;
+        }
+
+        if text != "seed_from" || txt(file, i + 1) != "(" {
+            continue;
+        }
+        // Walk past the argument list, then require `.split("snake_case")`.
+        let close = match matching_paren(file, i + 1) {
+            Some(c) => c,
+            None => continue,
+        };
+        if txt(file, close + 1) == "." && txt(file, close + 2) == "split" {
+            if txt(file, close + 3) == "(" && snake_label(file, close + 4).is_some() {
+                continue; // properly derived; the site was recorded above.
+            }
+            sink.emit(
+                file,
+                "rng-stream-discipline",
+                tok.line,
+                tok.col,
+                "stream label must be a snake_case string literal so the stream map \
+                 stays statically auditable"
+                    .to_string(),
+            );
+            continue;
+        }
+        sink.emit(
+            file,
+            "rng-stream-discipline",
+            tok.line,
+            tok.col,
+            "`SimRng::seed_from` without a named stream; derive per-component streams \
+             with `.split(\"<stream>\")` so adding one consumer doesn't shift every \
+             other component's draws"
+                .to_string(),
+        );
+    }
+}
+
+fn txt(file: &FileModel, i: usize) -> &str {
+    file.toks
+        .get(i)
+        .map(|t| t.text(&file.src))
+        .unwrap_or_default()
+}
+
+/// The label inside a `Str` token at `i`, if it is snake_case
+/// (`churn`, `disk_io`) — the shape stream labels must take. Separator
+/// strings handed to `str::split` (`"\r\n"`, `", "`) don't match, which is
+/// what keeps this rule off the false-positive class v1 suffered from.
+fn snake_label(file: &FileModel, i: usize) -> Option<String> {
+    let t = file.toks.get(i)?;
+    if t.kind != TokKind::Str {
+        return None;
+    }
+    let raw = t.text(&file.src);
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut chars = inner.chars();
+    let first = chars.next()?;
+    if !first.is_ascii_lowercase() {
+        return None;
+    }
+    if chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+        Some(inner.to_string())
+    } else {
+        None
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(file: &FileModel, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in open..file.toks.len() {
+        match txt(file, j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
