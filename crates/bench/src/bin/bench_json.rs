@@ -37,7 +37,10 @@ fn main() -> ExitCode {
     );
     let report = hotpath::run(quick);
     for p in &report.points {
-        println!("{:<26} {:>14.1} {}", p.name, p.value, p.metric);
+        println!(
+            "{:<26} {:>14.1} {:<14} (n={}, spread {:.1}%)",
+            p.name, p.value, p.metric, p.samples, p.spread_pct
+        );
     }
 
     // Tracing overhead budget: the traced cluster run must stay within 5% of

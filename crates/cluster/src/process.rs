@@ -27,6 +27,10 @@ struct Process {
     /// Usage accumulated since the last rollup.
     pending: ResourceVector,
     alive: bool,
+    /// Live or unreaped children still pointing here via `parent`. A slot
+    /// is only recycled once this reaches zero, so a reused pid can never
+    /// hijack another process's entity walk.
+    children: u32,
 }
 
 /// The per-node process table.
@@ -48,6 +52,10 @@ struct Process {
 #[derive(Debug, Clone, Default)]
 pub struct ProcessTable {
     processes: Vec<Process>,
+    /// Reaped slots available for reuse (LIFO, deterministic). Without
+    /// recycling, one-shot CGI children grow the table — and the per-cycle
+    /// rollup walk — without bound over a long run.
+    free: Vec<u32>,
 }
 
 impl ProcessTable {
@@ -59,14 +67,27 @@ impl ProcessTable {
     /// Launches a root process for a charging entity (done when the entity's
     /// service is started on the node).
     pub fn launch_entity_root(&mut self, entity: SubscriberId) -> Pid {
-        let pid = Pid(self.processes.len() as u32);
-        self.processes.push(Process {
+        self.alloc(Process {
             parent: None,
             entity: Some(entity),
             pending: ResourceVector::ZERO,
             alive: true,
-        });
-        pid
+            children: 0,
+        })
+    }
+
+    fn alloc(&mut self, proc: Process) -> Pid {
+        match self.free.pop() {
+            Some(slot) => {
+                self.processes[slot as usize] = proc;
+                Pid(slot)
+            }
+            None => {
+                let pid = Pid(self.processes.len() as u32);
+                self.processes.push(proc);
+                pid
+            }
+        }
     }
 
     /// Forks a child of `parent` (e.g. a CGI worker). The child belongs to
@@ -78,14 +99,14 @@ impl ProcessTable {
         if !p.alive {
             return None;
         }
-        let pid = Pid(self.processes.len() as u32);
-        self.processes.push(Process {
+        self.processes[parent.0 as usize].children += 1;
+        Some(self.alloc(Process {
             parent: Some(parent),
             entity: None,
             pending: ResourceVector::ZERO,
             alive: true,
-        });
-        Some(pid)
+            children: 0,
+        }))
     }
 
     /// Marks a process as exited. Its already-charged usage is still rolled
@@ -130,7 +151,28 @@ impl ProcessTable {
             }
             self.processes[i].pending = ResourceVector::ZERO;
         }
+        self.reap();
         out
+    }
+
+    /// Recycles exited, fully-drained, childless slots. Ordered ascending
+    /// so the free list (popped LIFO) is deterministic: the same sequence
+    /// of spawns and exits always reuses the same pids.
+    fn reap(&mut self) {
+        for i in (0..self.processes.len()).rev() {
+            let p = &self.processes[i];
+            if p.alive || p.children != 0 || p.pending != ResourceVector::ZERO {
+                continue;
+            }
+            // A free slot must never be reaped twice; mark it by breaking
+            // the parent link after accounting the parent's child count.
+            if let Some(parent) = self.processes[i].parent.take() {
+                self.processes[parent.0 as usize].children -= 1;
+            } else if self.processes[i].entity.take().is_none() {
+                continue; // already on the free list
+            }
+            self.free.push(i as u32);
+        }
     }
 
     /// Number of live processes.
@@ -190,6 +232,27 @@ mod tests {
         assert_eq!(pt.rollup()[&site].cpu_us, 7.0);
         assert_eq!(pt.live_count(), 1);
         assert!(pt.spawn_child(cgi).is_none(), "cannot fork from the dead");
+    }
+
+    #[test]
+    fn reaped_cgi_slots_are_recycled() {
+        let mut pt = ProcessTable::new();
+        let worker = pt.launch_entity_root(SubscriberId(0));
+        let first = pt.spawn_child(worker).unwrap();
+        pt.charge(first, ResourceVector::new(10.0, 0.0, 0.0));
+        pt.exit(first);
+        let usage = pt.rollup();
+        assert_eq!(usage[&SubscriberId(0)].cpu_us, 10.0);
+        // The drained child's slot is reused; the table stays at two slots
+        // however many one-shot children cycle through.
+        for _ in 0..100 {
+            let child = pt.spawn_child(worker).unwrap();
+            assert_eq!(child, first, "recycled slot expected");
+            pt.charge(child, ResourceVector::new(1.0, 0.0, 0.0));
+            pt.exit(child);
+            assert_eq!(pt.rollup()[&SubscriberId(0)].cpu_us, 1.0);
+        }
+        assert_eq!(pt.live_count(), 1);
     }
 
     #[test]

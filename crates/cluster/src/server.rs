@@ -99,6 +99,54 @@ impl<T> FifoServer<T> {
     }
 }
 
+/// The queueless core of [`FifoServer`]: a work-conserving FIFO service
+/// line that only tracks *time*, not tags.
+///
+/// The batched per-RPN lanes use this instead of [`FifoServer`]: a whole
+/// scheduling cycle's arrivals are offered in arrival order and each
+/// request's finish time comes straight back, so no per-item queue entry —
+/// and no per-item completion event — is needed for the intermediate
+/// stages. `offer(ready, service)` is exactly `FifoServer::enqueue` minus
+/// the `VecDeque` bookkeeping: `max(busy_until, ready) + service`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusyLine {
+    busy_until: SimTime,
+    total_busy: SimDuration,
+    completed: u64,
+}
+
+impl BusyLine {
+    /// Creates an idle line.
+    pub fn new() -> Self {
+        BusyLine::default()
+    }
+
+    /// Offers work that became ready at `ready` and takes `service`;
+    /// returns its absolute finish time. Offers must come in ready order
+    /// (FIFO) for the finish times to be meaningful.
+    pub fn offer(&mut self, ready: SimTime, service: SimDuration) -> SimTime {
+        self.busy_until = self.busy_until.max(ready) + service;
+        self.total_busy += service;
+        self.completed += 1;
+        self.busy_until
+    }
+
+    /// When the line drains, given no further arrivals.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Cumulative service time performed.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Items offered (and therefore eventually completed) so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +185,20 @@ mod tests {
         let fin = s.enqueue(SimTime::from_millis(100), ms(2), 2);
         assert_eq!(fin.as_millis(), 102);
         assert_eq!(s.total_busy(), ms(3));
+    }
+
+    #[test]
+    fn busy_line_matches_fifo_server_finish_times() {
+        let mut line = BusyLine::new();
+        let mut fifo: FifoServer<u32> = FifoServer::new();
+        let arrivals = [(0u64, 5u64), (2, 1), (3, 4), (50, 2), (50, 2)];
+        for (i, &(at, svc)) in arrivals.iter().enumerate() {
+            let t = SimTime::from_millis(at);
+            assert_eq!(line.offer(t, ms(svc)), fifo.enqueue(t, ms(svc), i as u32));
+        }
+        assert_eq!(line.busy_until(), fifo.busy_until());
+        assert_eq!(line.total_busy(), fifo.total_busy());
+        assert_eq!(line.completed_count(), 5);
     }
 
     #[test]

@@ -2,28 +2,53 @@
 //!
 //! The message flow follows the paper's Figure 2. Per request:
 //!
-//! 1. the client sends a SYN to the cluster address; the RDN's handshake
-//!    emulation answers SYN-ACK (charging Table-3 setup cost),
-//! 2. the client sends the handshake ACK and the URL packet; the RDN
-//!    classifies the URL (3 µs), resolves the subscriber by Host, and
-//!    queues the request,
+//! 1. the client opens a connection to the cluster address; the RDN's
+//!    handshake emulation answers SYN-ACK (charging Table-3 setup cost)
+//!    and the client follows with the handshake ACK and the URL packet —
+//!    the whole first-leg exchange is a single [`Ev::UrlArrive`] event
+//!    that charges every packet of the exchange in one batch,
+//! 2. the RDN classifies the URL (3 µs), resolves the subscriber by Host,
+//!    and queues the request,
 //! 3. every 10 ms the request scheduler dispatches queued requests; each
-//!    dispatch installs a connection-table route and forwards the URL
-//!    packet to the chosen RPN (7 µs),
+//!    dispatch installs a connection-table route and forwards the request
+//!    to the chosen RPN (7 µs),
 //! 4. the RPN's local service manager sets up the second-leg connection
-//!    (27.2 µs), builds the [`SpliceMap`], and hands the request to the web
-//!    server model: a CPU burst, a disk I/O on cache miss, then NIC
-//!    serialization of the response,
+//!    (27.2 µs), builds the [`SpliceMap`], and hands the request to its
+//!    *lane*: a per-RPN batch of CPU → disk → NIC service stages evaluated
+//!    in struct-of-arrays fashion at the next scheduling-cycle barrier
+//!    (see [module docs on lanes](#deterministic-per-rpn-lanes)),
 //! 5. the response flows *directly* to the client (sequence/address
 //!    remapped, 4.6 µs per data packet); client ACKs flow back through the
-//!    RDN bridge (7 µs each) to the RPN (1.3 µs remap each),
+//!    RDN bridge (7 µs each) to the RPN (1.3 µs remap each) — all charged
+//!    numerically when the response completes,
 //! 6. each accounting cycle the RPN rolls up per-process usage by charging
 //!    entity and reports it; the RDN reconciles balances and windows.
 //!
-//! Data transfer is aggregated (one event per response, with per-packet
-//! costs charged numerically) while the control path carries real
-//! [`Packet`] values through real classification, connection-table and
-//! splice-remap code.
+//! Control-path state (connection-table routes, splice remaps, process
+//! trees) is still carried through the real data structures; only the
+//! per-packet event traffic is aggregated, with each collapsed packet
+//! credited to the engine's event count via [`Context::count_logical`].
+//!
+//! # Deterministic per-RPN lanes
+//!
+//! Each RPN owns an *inbox* of newly arrived requests. Between two
+//! scheduling-cycle barriers nothing reads another RPN's inbox, so
+//! flushing an inbox — chaining each request through the node's CPU, disk
+//! and NIC [`BusyLine`]s and recording its finish times — is independent
+//! per RPN. At the barrier ([`Ev::SchedTick`]) every lane is flushed,
+//! optionally on `params.lanes` worker threads over disjoint RPN chunks,
+//! and the resulting completions are merged back **in fixed RPN order**
+//! and scheduled at their exact finish times. Because a lane's arithmetic
+//! depends only on its own RPN's state and the merge order is static,
+//! same-seed runs are byte-identical for every lane count — the
+//! determinism regression matrix pins `lanes = 1` against `lanes = 4`.
+//! Finish times earlier than the barrier clamp to the barrier instant
+//! (the engine never schedules into the past), so a sub-cycle response
+//! completes at the next tick — bounded by one 10 ms cycle, well inside
+//! every latency band the paper's tables quote.
+//!
+//! In [`GageMode::Bypass`] there is no scheduling tick, so lanes flush
+//! inline on arrival, which degenerates to the exact unbatched timing.
 //!
 //! # Failure and recovery
 //!
@@ -32,20 +57,20 @@
 //! Every issued request terminally resolves as *served*, *dropped*
 //! (refused by the RDN with an RST) or *failed* (client timeout after
 //! bounded retries) — the chaos suite asserts this conservation exactly.
-//! A crashed node loses its in-flight work; the RDN's report watchdog
-//! writes it off ([`TraceEvent::NodeDown`]), purges its splice routes and
-//! re-queues dispatches that bounced off it. A recovered node reboots
-//! cold (fresh process table, cold cache), restarts its accounting chain,
-//! and its first report re-registers it with the RDN
-//! ([`TraceEvent::NodeUp`]) — the watchdog's symmetric up-path. While
-//! live capacity is short of the reservation sum, the scheduler scales
-//! effective reservations proportionally (graceful degradation).
+//! A crashed node loses its in-flight work (inbox included); the RDN's
+//! report watchdog writes it off ([`TraceEvent::NodeDown`]), purges its
+//! splice routes and re-queues dispatches that bounced off it. A
+//! recovered node reboots cold (fresh process table, cold cache),
+//! restarts its accounting chain, and its first report re-registers it
+//! with the RDN ([`TraceEvent::NodeUp`]) — the watchdog's symmetric
+//! up-path. While live capacity is short of the reservation sum, the
+//! scheduler scales effective reservations proportionally (graceful
+//! degradation).
 
 use std::net::Ipv4Addr;
 
 use gage_collections::DetMap;
 use gage_core::accounting::{SubscriberUsage, UsageReport};
-use gage_core::classify::{classify_packet, PacketClass};
 use gage_core::conn_table::{ConnTable, Route};
 use gage_core::node::{NodeScheduler, RpnId};
 use gage_core::resource::{Grps, ResourceVector};
@@ -53,7 +78,6 @@ use gage_core::scheduler::RequestScheduler;
 use gage_core::subscriber::{SubscriberId, SubscriberRegistry};
 use gage_des::{Context, EventId, Model, SimDuration, SimTime, Simulation};
 use gage_net::addr::{Endpoint, FourTuple, MacAddr, Port};
-use gage_net::packet::Packet;
 use gage_net::splice::SpliceMap;
 use gage_net::SeqNum;
 use gage_obs::{Registry, TraceEvent, Tracer};
@@ -62,9 +86,9 @@ use gage_workload::Trace;
 use crate::cache::LruCache;
 use crate::faults::{FaultEvent, FaultPlan, FaultState};
 use crate::metrics::{RdnMetrics, SubscriberMetrics};
-use crate::params::{ClusterParams, DiskPolicy, GageMode};
+use crate::params::{ClusterParams, DiskPolicy, GageMode, NetworkParams};
 use crate::process::{Pid, ProcessTable};
-use crate::server::FifoServer;
+use crate::server::BusyLine;
 
 /// One hosted site: its host name, reservation and offered workload.
 #[derive(Debug, Clone)]
@@ -77,10 +101,10 @@ pub struct SiteSpec {
     pub trace: Trace,
 }
 
-/// Extra information the RDN attaches to a dispatched URL packet so the
-/// RPN's local service manager can build the splice and echo predictions.
+/// Everything the RDN attaches to a dispatched request so the RPN's local
+/// service manager can build the splice and echo predictions.
 #[doc(hidden)]
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DispatchMeta {
     sub: SubscriberId,
     /// Run-wide logical request id (stable across retries).
@@ -89,6 +113,8 @@ pub struct DispatchMeta {
     rdn_isn: SeqNum,
     path: String,
     size: u64,
+    /// The client↔cluster connection the dispatch serves.
+    conn: FourTuple,
 }
 
 /// A request sitting in an RDN subscriber queue.
@@ -97,7 +123,6 @@ struct PendingRequest {
     conn: FourTuple,
     /// Run-wide logical request id (stable across retries).
     req: u64,
-    url_pkt: Packet,
     rdn_isn: SeqNum,
     path: String,
     size: u64,
@@ -112,12 +137,13 @@ impl gage_core::scheduler::TraceTag for PendingRequest {
     }
 }
 
-/// What an outstanding client connection is requesting.
-#[derive(Debug, Clone)]
+/// What an outstanding client connection is requesting. The URL itself is
+/// not copied here: `idx` points back into the subscriber's immutable
+/// trace, so issuing (and re-issuing on retry) allocates nothing.
+#[derive(Debug, Clone, Copy)]
 struct UrlInfo {
-    path: String,
-    size: u64,
-    host: String,
+    /// Trace entry index within the owning subscriber's trace.
+    idx: u32,
     /// Run-wide logical request id (stable across retries).
     req: u64,
 }
@@ -129,16 +155,22 @@ struct UrlInfo {
 pub enum Ev {
     /// A client issues trace entry `idx` of subscriber `sub`.
     Issue { sub: u32, idx: u32 },
-    /// A packet reaches the RDN.
-    RdnPacket { pkt: Packet },
-    /// A packet (with dispatch metadata if newly dispatched) reaches an RPN.
-    RpnPacket {
+    /// The client's URL packet reaches the RDN, handshake complete (the
+    /// whole 3-hop first-leg exchange collapsed into one event).
+    UrlArrive { sub: u32, conn: FourTuple },
+    /// An RDN refusal (RST) reaches the client.
+    ClientRst { sub: u32, conn: FourTuple },
+    /// A dispatched request reaches an RPN. The metadata is boxed to keep
+    /// `Ev` small: every wheel slot move copies a full `Ev`, and dispatches
+    /// are a small fraction of total events.
+    RpnArrive { rpn: u16, meta: Box<DispatchMeta> },
+    /// An RPN finished serving a request (NIC drained); valid only in the
+    /// node's boot `epoch`.
+    Complete {
         rpn: u16,
-        pkt: Packet,
-        meta: Option<DispatchMeta>,
+        epoch: u32,
+        conn: FourTuple,
     },
-    /// A packet reaches a client (SYN-ACK or RST).
-    ClientPacket { sub: u32, pkt: Packet },
     /// A complete response reaches a client.
     ResponseArrive { sub: u32, conn: FourTuple },
     /// A client's per-attempt request timer expired.
@@ -147,18 +179,14 @@ pub enum Ev {
         conn: FourTuple,
         attempt: u32,
     },
-    /// The RDN scheduler's 10 ms tick.
+    /// The RDN scheduler's 10 ms tick — also the lane barrier.
     SchedTick,
     /// An RPN's accounting-cycle tick (valid only in its boot `epoch`).
     AcctTick { rpn: u16, epoch: u32 },
-    /// An accounting report reaches the RDN.
-    Report { report: UsageReport },
-    /// Head of an RPN's CPU queue finished.
-    CpuDone { rpn: u16, epoch: u32 },
-    /// Head of an RPN's disk queue finished.
-    DiskDone { rpn: u16, epoch: u32 },
-    /// Head of an RPN's NIC queue finished.
-    NicDone { rpn: u16, epoch: u32 },
+    /// An accounting report reaches the RDN. Boxed for the same reason as
+    /// [`Ev::RpnArrive`]: reports are one event per accounting cycle, but
+    /// their inline size would tax every event the wheel moves.
+    Report { report: Box<UsageReport> },
     /// Fail-stop crash of an RPN (fault injection).
     CrashRpn { rpn: u16 },
     /// Reboot of a crashed RPN (fault injection).
@@ -182,6 +210,41 @@ struct ActiveReq {
     pid: Pid,
     /// True if `pid` is a one-shot CGI child to reap on completion.
     reap_pid: bool,
+    /// Per-stage finish times, filled in when the owning lane flushes
+    /// (until then the request is inbox-resident and all three read as
+    /// [`SimTime::MAX`], i.e. "still in the CPU stage").
+    cpu_fin: SimTime,
+    disk_fin: SimTime,
+    nic_fin: SimTime,
+}
+
+/// One entry of an RPN lane's inbox: a request waiting for the next
+/// barrier flush, in arrival order (struct-of-arrays style — service
+/// parameters travel here, identity/accounting state lives in
+/// [`ActiveReq`]).
+#[derive(Debug)]
+struct LaneJob {
+    conn: FourTuple,
+    /// Arrival instant: service chains from here, not from the barrier,
+    /// so batching never costs capacity.
+    ready: SimTime,
+    path: String,
+    size: u64,
+    /// CGI cost multiplier (1.0 for static requests).
+    cpu_mult: f64,
+    /// Per-request Gage overhead in reference-machine µs (0 in bypass).
+    overhead_us: f64,
+}
+
+/// One entry of an RPN lane's outbox: a finish time the barrier merge
+/// turns into an [`Ev::Complete`].
+#[derive(Debug, Clone, Copy)]
+struct LaneDone {
+    conn: FourTuple,
+    fin: SimTime,
+    /// Whether the request took the disk stage (its collapsed completion
+    /// covers one more legacy event).
+    has_disk: bool,
 }
 
 /// Per-subscriber completion accumulator between accounting reports.
@@ -195,13 +258,20 @@ struct CycleAccum {
 struct Rpn {
     ip: Ipv4Addr,
     mac: MacAddr,
-    cpu: FifoServer<FourTuple>,
-    disk: FifoServer<FourTuple>,
-    nic: FifoServer<FourTuple>,
+    cpu: BusyLine,
+    disk: BusyLine,
+    nic: BusyLine,
     cache: Option<LruCache>,
     processes: ProcessTable,
     workers: Vec<Pid>,
     active: DetMap<FourTuple, ActiveReq>,
+    /// Requests arrived since the last barrier, in arrival order.
+    inbox: Vec<LaneJob>,
+    /// Completions produced by the last flush, merged at the barrier.
+    outbox: Vec<LaneDone>,
+    /// Running sum of predicted vectors of in-service requests — reported
+    /// each accounting tick without walking `active`.
+    outstanding: ResourceVector,
     isn_counter: u32,
     cycle: Vec<CycleAccum>,
     total_cycle_usage: ResourceVector,
@@ -209,9 +279,83 @@ struct Rpn {
     /// Multiplier on this node's timer periods (1.0 ± a few hundred ppm).
     clock_skew: f64,
     /// Boot generation: bumped on every crash so events scheduled against a
-    /// previous life of the node (CPU/disk/NIC completions, accounting
-    /// ticks) are recognizably stale and ignored.
+    /// previous life of the node (completions, accounting ticks) are
+    /// recognizably stale and ignored.
     epoch: u32,
+}
+
+/// Flushes one RPN's lane: chains every inbox request through the node's
+/// CPU → disk → NIC service lines in arrival order, records per-stage
+/// finish times on the matching [`ActiveReq`], and queues a [`LaneDone`]
+/// per request for the barrier merge.
+///
+/// Deliberately a free function over `(&mut Rpn, &ClusterParams)`: it
+/// touches no RDN, tracer, RNG or cross-node state, which is what makes
+/// flushing all lanes from worker threads sound (the `lane-shared-state`
+/// lint keeps interior mutability out of everything reachable from here).
+fn flush_lane(rpn: &mut Rpn, params: &ClusterParams) {
+    let speed = params.rpn_speed;
+    let mut inbox = std::mem::take(&mut rpn.inbox);
+    for job in inbox.drain(..) {
+        let service_cpu_us = params.service.cpu_us(job.size) * job.cpu_mult;
+        let cpu_us = (service_cpu_us + job.overhead_us) / speed;
+        let cpu_fin = rpn
+            .cpu
+            .offer(job.ready, SimDuration::from_secs_f64(cpu_us / 1e6));
+        let disk_us = match params.service.disk {
+            DiskPolicy::None => 0.0,
+            DiskPolicy::PerRequest { us } => us,
+            DiskPolicy::Cache {
+                seek_us,
+                transfer_bytes_per_sec,
+                ..
+            } => match rpn.cache.as_mut() {
+                Some(cache) => {
+                    if cache.access(&job.path, job.size) {
+                        0.0
+                    } else {
+                        seek_us + job.size as f64 / transfer_bytes_per_sec * 1e6
+                    }
+                }
+                None => 0.0,
+            },
+        };
+        let disk_fin = if disk_us > 0.0 {
+            rpn.disk
+                .offer(cpu_fin, SimDuration::from_secs_f64(disk_us / 1e6))
+        } else {
+            cpu_fin
+        };
+        let wire = response_wire_bytes(&params.network, job.size);
+        let nic_fin = rpn.nic.offer(
+            disk_fin,
+            SimDuration::from_secs_f64(wire / params.network.rpn_egress_bytes_per_sec),
+        );
+        if let Some(req) = rpn.active.get_mut(&job.conn) {
+            req.cpu_us = cpu_us * speed; // account in reference-machine µs
+            req.disk_us = disk_us;
+            req.net_bytes = wire;
+            req.cpu_fin = cpu_fin;
+            req.disk_fin = disk_fin;
+            req.nic_fin = nic_fin;
+        }
+        rpn.outbox.push(LaneDone {
+            conn: job.conn,
+            fin: nic_fin,
+            has_disk: disk_us > 0.0,
+        });
+    }
+    rpn.inbox = inbox;
+}
+
+fn response_packet_counts(net: &NetworkParams, size: u64) -> (u64, u64) {
+    let data_pkts = (size + 200).div_ceil(net.mss as u64).max(1);
+    (data_pkts, data_pkts) // one ACK per data packet, per the paper
+}
+
+fn response_wire_bytes(net: &NetworkParams, size: u64) -> f64 {
+    let (data_pkts, _) = response_packet_counts(net, size);
+    (size + 200 + data_pkts * 54) as f64
 }
 
 /// A client's record of one outstanding request attempt.
@@ -242,7 +386,6 @@ pub struct World {
     cluster_ep: Endpoint,
     scheduler: RequestScheduler<PendingRequest>,
     conn_table: ConnTable,
-    pending_handshakes: DetMap<FourTuple, SeqNum>,
     rpns: Vec<Rpn>,
     clients: Vec<ClientSide>,
     /// What each outstanding connection is requesting.
@@ -276,6 +419,12 @@ pub struct World {
     /// Reused scratch buffer for the 10 ms scheduler tick, so the steady
     /// state allocates no dispatch `Vec` per cycle.
     dispatch_buf: Vec<gage_core::scheduler::Dispatch<PendingRequest>>,
+    /// Scheduling ticks handled so far (drives the periodic queue-stats
+    /// trace record).
+    sched_ticks: u64,
+    /// Instant of the most recent handled event — the "now" that debug
+    /// views evaluate stage occupancy against.
+    last_event_at: SimTime,
     /// Structured trace sink shared with the scheduler and splice layer;
     /// disabled unless [`ClusterSim::enable_tracing`] is called.
     tracer: Tracer,
@@ -298,24 +447,13 @@ impl World {
         )
     }
 
-    fn response_packet_counts(&self, size: u64) -> (u64, u64) {
-        let data_pkts = (size + 200).div_ceil(self.params.network.mss as u64).max(1);
-        (data_pkts, data_pkts) // one ACK per data packet, per the paper
-    }
-
-    fn response_wire_bytes(&self, size: u64) -> f64 {
-        let (data_pkts, _) = self.response_packet_counts(size);
-        (size + 200 + data_pkts * 54) as f64
-    }
-
     /// Charges RDN CPU for handling `packets` packets' interrupts plus
-    /// `op_us` of protocol work at `now`.
+    /// `op_us` of protocol work at `now` — one batched record regardless
+    /// of the packet count.
     fn charge_rdn(&mut self, now: SimTime, packets: u64, op_us: f64) {
         let rate = self.rdn_metrics.recent_packet_rate(now);
         let int_us = self.params.interrupts.cost_us(rate) * packets as f64;
-        for _ in 0..packets {
-            self.rdn_metrics.packets.record(now, 1.0);
-        }
+        self.rdn_metrics.packets.record(now, packets as f64);
         self.rdn_metrics.packet_count += packets;
         self.rdn_metrics
             .busy
@@ -325,26 +463,20 @@ impl World {
     // ---- client ----
 
     fn on_issue(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, idx: u32) {
-        let entry = &self.traces[sub as usize].entries[idx as usize];
         let req = self.next_req;
         self.next_req += 1;
-        let url = UrlInfo {
-            path: entry.path.clone(),
-            size: entry.size_bytes,
-            host: entry.host.clone(),
-            req,
-        };
         // `offered` counts logical requests once; retries re-send without
         // re-counting, so offered == served + dropped + failed holds exactly.
         self.metrics[sub as usize].offered.record(ctx.now(), 1.0);
         self.tracer.emit(TraceEvent::ReqArrival { sub, req });
         let first_issued = ctx.now();
-        self.issue_request(ctx, sub, url, first_issued, 0);
+        self.issue_request(ctx, sub, UrlInfo { idx, req }, first_issued, 0);
     }
 
     /// Sends attempt `attempt` of a request: opens a fresh connection, arms
-    /// the per-attempt timeout (base timeout × backoff^attempt) and SYNs the
-    /// cluster address.
+    /// the per-attempt timeout (base timeout × backoff^attempt) and starts
+    /// the first-leg exchange. The SYN / SYN-ACK / ACK+URL volley is three
+    /// network hops, so the URL reaches the RDN at `now + 3·hop`.
     fn issue_request(
         &mut self,
         ctx: &mut Context<'_, Ev>,
@@ -353,6 +485,7 @@ impl World {
         first_issued: SimTime,
         attempt: u32,
     ) {
+        // Copy-cheap: `url` names the trace entry, it doesn't own the URL.
         let n = self.clients[sub as usize].issued;
         self.clients[sub as usize].issued += 1;
         let client_ep = self.client_endpoint(sub, n);
@@ -370,9 +503,8 @@ impl World {
         );
         self.client_url.insert(conn, url);
         self.isn_counter = self.isn_counter.wrapping_add(64_223);
-        let syn = Packet::syn(client_ep, self.cluster_ep, SeqNum::new(self.isn_counter));
         let hop = self.hop();
-        ctx.schedule_in(hop, Ev::RdnPacket { pkt: syn });
+        ctx.schedule_in(hop * 3, Ev::UrlArrive { sub, conn });
     }
 
     fn on_client_timeout(
@@ -390,7 +522,7 @@ impl World {
         }
         self.clients[sub as usize].pending.remove(&conn);
         let url = self.client_url.remove(&conn);
-        let req = url.as_ref().map_or(0, |u| u.req);
+        let req = url.map_or(0, |u| u.req);
         let retry = self.params.client_retry;
         if attempt < retry.max_retries {
             if let Some(url) = url {
@@ -412,57 +544,19 @@ impl World {
         });
     }
 
-    fn on_client_packet(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, pkt: Packet) {
-        // An RST means the RDN refused the request (queue overflow, unknown
-        // host, unrecoverable dispatch): resolve it as dropped right here so
-        // the retry timer never fires for it.
-        if pkt.is_rst() {
-            let conn = FourTuple::new(pkt.dst(), self.cluster_ep);
-            let url = self.client_url.remove(&conn);
-            if let Some(entry) = self.clients[sub as usize].pending.remove(&conn) {
-                ctx.cancel(entry.timeout);
-                self.metrics[sub as usize].dropped.record(ctx.now(), 1.0);
-                self.tracer.emit(TraceEvent::ReqDropped {
-                    sub,
-                    req: url.map_or(0, |u| u.req),
-                });
-            }
-            return;
+    /// An RST from the RDN (queue overflow, unknown host, unrecoverable
+    /// dispatch): the request resolves as dropped and its retry timer is
+    /// disarmed.
+    fn on_client_rst(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
+        let url = self.client_url.remove(&conn);
+        if let Some(entry) = self.clients[sub as usize].pending.remove(&conn) {
+            ctx.cancel(entry.timeout);
+            self.metrics[sub as usize].dropped.record(ctx.now(), 1.0);
+            self.tracer.emit(TraceEvent::ReqDropped {
+                sub,
+                req: url.map_or(0, |u| u.req),
+            });
         }
-        // Only SYN-ACKs reach clients as discrete packets; reply with the
-        // handshake ACK followed by the URL request.
-        if !(pkt.is_syn() && pkt.is_ack()) {
-            return;
-        }
-        let client_ep = pkt.dst();
-        let conn = FourTuple::new(client_ep, self.cluster_ep);
-        if !self.clients[sub as usize].pending.contains_key(&conn) {
-            return; // stale
-        }
-        let client_isn = pkt.tcp.ack - 1u32;
-        let ack = Packet::ack(client_ep, self.cluster_ep, pkt.tcp.ack, pkt.tcp.seq + 1);
-        let Some(UrlInfo {
-            path,
-            size,
-            host,
-            req,
-        }) = self.client_url.get(&conn).cloned()
-        else {
-            return; // stale handshake for a forgotten request
-        };
-        let http = format!(
-            "GET {path} HTTP/1.0\r\nHost: {host}\r\nX-Size: {size}\r\nX-Req: {req}\r\n\r\n"
-        );
-        let url = Packet::data(
-            client_ep,
-            self.cluster_ep,
-            client_isn + 1,
-            pkt.tcp.seq + 1,
-            http.into_bytes().into(),
-        );
-        let hop = self.hop();
-        ctx.schedule_in(hop, Ev::RdnPacket { pkt: ack });
-        ctx.schedule_in(hop, Ev::RdnPacket { pkt: url });
     }
 
     fn on_response_arrive(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
@@ -485,30 +579,17 @@ impl World {
     // ---- RDN ----
 
     /// Refuses a client request: charges the RDN for the reset packet and
-    /// RSTs the connection so the client resolves it as dropped (and disarms
-    /// its retry timer).
-    fn refuse_with_rst(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, url_pkt: &Packet) {
+    /// RSTs the connection so the client resolves it as dropped.
+    fn refuse(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
         self.charge_rdn(ctx.now(), 1, 0.0);
-        let rst = Packet::rst(
-            self.cluster_ep,
-            url_pkt.src(),
-            url_pkt.tcp.ack,
-            url_pkt.tcp.seq + url_pkt.payload.len() as u32,
-        );
         let hop = self.hop();
-        ctx.schedule_in(hop, Ev::ClientPacket { sub, pkt: rst });
+        ctx.schedule_in(hop, Ev::ClientRst { sub, conn });
     }
 
-    /// Forwards a frame onto the RDN→RPN link, subject to any active link
-    /// fault: the frame may vanish (recovery is the client's timeout) or be
-    /// delayed.
-    fn send_to_rpn(
-        &mut self,
-        ctx: &mut Context<'_, Ev>,
-        rpn: u16,
-        pkt: Packet,
-        meta: Option<DispatchMeta>,
-    ) {
+    /// Forwards a dispatched request onto the RDN→RPN link, subject to any
+    /// active link fault: the frame may vanish (recovery is the client's
+    /// timeout) or be delayed.
+    fn send_to_rpn(&mut self, ctx: &mut Context<'_, Ev>, rpn: u16, meta: DispatchMeta) {
         let mut delay = self.hop();
         if let Some((drop_prob, extra)) = self.faults.link_fault_at(ctx.now(), rpn) {
             if self.faults.chance(drop_prob) {
@@ -516,90 +597,74 @@ impl World {
             }
             delay += extra;
         }
-        ctx.schedule_in(delay, Ev::RpnPacket { rpn, pkt, meta });
+        ctx.schedule_in(
+            delay,
+            Ev::RpnArrive {
+                rpn,
+                meta: Box::new(meta),
+            },
+        );
     }
 
-    fn on_rdn_packet(&mut self, ctx: &mut Context<'_, Ev>, pkt: Packet) {
-        // Established connection? Bridge it straight to the owning RPN.
-        if let Some(route) = self.conn_table.lookup(pkt.four_tuple()) {
-            self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.forwarding_us);
-            self.send_to_rpn(ctx, route.rpn.0, pkt, None);
-            return;
+    /// The collapsed first-leg exchange: charges the SYN + SYN-ACK (setup)
+    /// and ACK + URL (classification) packet batches, resolves the Host,
+    /// and queues or dispatches the request. Credits the three collapsed
+    /// packet events (SYN, SYN-ACK, ACK) to the engine's logical count.
+    fn on_url_arrive(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
+        let Some(url) = self.client_url.get(&conn).copied() else {
+            return; // resolved before the exchange finished
+        };
+        // Resolve the URL from the immutable trace before any `&mut self`
+        // work below; only `path` is ever cloned, and only on the
+        // successfully-classified path.
+        let entry = &self.traces[sub as usize].entries[url.idx as usize];
+        let size = entry.size_bytes;
+        let classified = self.registry.classify_host(&entry.host);
+        let path = classified.map(|_| entry.path.clone());
+        ctx.count_logical(3);
+        // Handshake emulation: SYN in, SYN-ACK out. With an asymmetric
+        // front-end cluster the setup CPU work moves to a secondary RDN;
+        // the primary still sees the packets.
+        if self.secondary_busy.is_empty() {
+            self.charge_rdn(ctx.now(), 2, self.params.rdn_costs.conn_setup_us);
+        } else {
+            self.charge_rdn(ctx.now(), 2, 0.0);
+            let i = self.secondary_rr % self.secondary_busy.len();
+            self.secondary_rr += 1;
+            self.secondary_busy[i].add(
+                ctx.now(),
+                SimDuration::from_secs_f64(self.params.rdn_costs.conn_setup_us / 1e6),
+            );
         }
-        match classify_packet(&pkt, false) {
-            PacketClass::Handshake => {
-                if pkt.is_syn() && !pkt.is_ack() {
-                    // Handshake emulation: answer SYN-ACK ourselves. With an
-                    // asymmetric front-end cluster the setup CPU work moves
-                    // to a secondary RDN; the primary still sees the packets.
-                    if self.secondary_busy.is_empty() {
-                        self.charge_rdn(ctx.now(), 2, self.params.rdn_costs.conn_setup_us);
-                    } else {
-                        self.charge_rdn(ctx.now(), 2, 0.0);
-                        let i = self.secondary_rr % self.secondary_busy.len();
-                        self.secondary_rr += 1;
-                        self.secondary_busy[i].add(
-                            ctx.now(),
-                            SimDuration::from_secs_f64(self.params.rdn_costs.conn_setup_us / 1e6),
-                        );
-                    }
-                    self.isn_counter = self.isn_counter.wrapping_add(88_651);
-                    let rdn_isn = SeqNum::new(self.isn_counter);
-                    self.pending_handshakes.insert(pkt.four_tuple(), rdn_isn);
-                    let synack =
-                        Packet::syn_ack(self.cluster_ep, pkt.src(), rdn_isn, pkt.tcp.seq + 1);
-                    let sub = self.subscriber_of_client(pkt.src());
-                    let hop = self.hop();
-                    if let Some(sub) = sub {
-                        ctx.schedule_in(hop, Ev::ClientPacket { sub, pkt: synack });
-                    }
-                } else {
-                    // The final handshake ACK: already costed with the SYN.
-                    self.charge_rdn(ctx.now(), 1, 0.0);
+        self.isn_counter = self.isn_counter.wrapping_add(88_651);
+        let rdn_isn = SeqNum::new(self.isn_counter);
+        // The handshake ACK and the URL packet itself, classified at 3 µs.
+        self.charge_rdn(ctx.now(), 2, self.params.rdn_costs.classification_us);
+        let (Some(sub_id), Some(path)) = (classified, path) else {
+            self.unknown_host_drops += 1;
+            // Still terminate the connection: the issuing client resolves
+            // the request as dropped.
+            self.refuse(ctx, sub, conn);
+            return;
+        };
+        let req = PendingRequest {
+            conn,
+            req: url.req,
+            rdn_isn,
+            path,
+            size,
+            enqueued_at: ctx.now(),
+        };
+        match self.params.mode {
+            GageMode::Enabled => {
+                if let Err(req) = self.scheduler.enqueue(sub_id, req) {
+                    self.refuse(ctx, sub_id.0, req.conn);
                 }
             }
-            PacketClass::UrlRequest(info) => {
-                self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.classification_us);
-                let Some(sub) = self.registry.classify_host(&info.host) else {
-                    self.unknown_host_drops += 1;
-                    // Still terminate the connection: the issuing client (if
-                    // any) resolves the request as dropped.
-                    if let Some(sub) = self.subscriber_of_client(pkt.src()) {
-                        self.refuse_with_rst(ctx, sub, &pkt);
-                    }
-                    return;
-                };
-                let size = x_size_hint(&pkt).unwrap_or(6 * 1024);
-                let req_id = x_req_hint(&pkt).unwrap_or(0);
-                let conn = pkt.four_tuple();
-                let rdn_isn = self
-                    .pending_handshakes
-                    .remove(&conn)
-                    .unwrap_or(SeqNum::new(1));
-                let req = PendingRequest {
-                    conn,
-                    req: req_id,
-                    url_pkt: pkt,
-                    rdn_isn,
-                    path: info.path,
-                    size,
-                    enqueued_at: ctx.now(),
-                };
-                match self.params.mode {
-                    GageMode::Enabled => {
-                        if let Err(req) = self.scheduler.enqueue(sub, req) {
-                            self.refuse_with_rst(ctx, sub.0, &req.url_pkt);
-                        }
-                    }
-                    GageMode::Bypass => {
-                        let rpn = RpnId((self.rr_next % self.rpns.len()) as u16);
-                        self.rr_next += 1;
-                        self.dispatch_to_rpn(ctx, sub, rpn, req, ResourceVector::ZERO);
-                    }
-                }
-            }
-            PacketClass::Other => {
-                self.charge_rdn(ctx.now(), 1, 0.0);
+            GageMode::Bypass => {
+                let rpn = RpnId((self.rr_next % self.rpns.len()) as u16);
+                self.rr_next += 1;
+                self.dispatch_to_rpn(ctx, sub_id, rpn, req, ResourceVector::ZERO);
             }
         }
     }
@@ -629,11 +694,80 @@ impl World {
             rdn_isn: req.rdn_isn,
             path: req.path,
             size: req.size,
+            conn: req.conn,
         };
-        self.send_to_rpn(ctx, rpn.0, req.url_pkt, Some(meta));
+        self.send_to_rpn(ctx, rpn.0, meta);
+    }
+
+    /// Flushes every RPN lane (see [`flush_lane`]). With `params.lanes > 1`
+    /// the RPN array is split into contiguous chunks flushed by scoped
+    /// worker threads; each lane's arithmetic is confined to its own RPN,
+    /// so the result is independent of the thread count.
+    ///
+    /// Threads are only spawned when the barrier batch is large enough to
+    /// amortize the ~tens-of-µs spawn/join cost; below
+    /// [`LANE_PARALLEL_THRESHOLD`] jobs the flush runs inline. The
+    /// threshold is a pure function of deterministic state (inbox sizes),
+    /// and inline vs threaded flushing computes identical results, so the
+    /// cutover cannot perturb determinism.
+    fn flush_lanes(&mut self) {
+        /// Minimum jobs in a barrier batch before worker threads pay off.
+        const LANE_PARALLEL_THRESHOLD: usize = 1024;
+        let jobs: usize = self.rpns.iter().map(|r| r.inbox.len()).sum();
+        if jobs == 0 {
+            return;
+        }
+        let params = &self.params;
+        let rpns = &mut self.rpns;
+        let lanes = params.lanes.max(1).min(rpns.len());
+        if lanes <= 1 || jobs < LANE_PARALLEL_THRESHOLD {
+            for rpn in rpns.iter_mut() {
+                flush_lane(rpn, params);
+            }
+        } else {
+            let chunk = rpns.len().div_ceil(lanes);
+            std::thread::scope(|s| {
+                for slice in rpns.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for rpn in slice {
+                            flush_lane(rpn, params);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Merges RPN `r`'s outbox into the event queue: every completion is
+    /// scheduled at its exact finish time (clamped to now by the engine)
+    /// and the collapsed per-stage events are credited as logical events.
+    /// Always called in fixed RPN order — this is the determinism barrier.
+    fn merge_outbox(&mut self, ctx: &mut Context<'_, Ev>, r: usize) {
+        let epoch = self.rpns[r].epoch;
+        let mut outbox = std::mem::take(&mut self.rpns[r].outbox);
+        for done in outbox.drain(..) {
+            // One legacy CpuDone + NicDone pair collapses into Complete
+            // (+1 logical), plus DiskDone when the disk stage ran.
+            ctx.count_logical(1 + u64::from(done.has_disk));
+            ctx.schedule_at(
+                done.fin,
+                Ev::Complete {
+                    rpn: r as u16,
+                    epoch,
+                    conn: done.conn,
+                },
+            );
+        }
+        self.rpns[r].outbox = outbox;
     }
 
     fn on_sched_tick(&mut self, ctx: &mut Context<'_, Ev>) {
+        // Barrier first: flush every lane (possibly in parallel), then
+        // merge completions back in fixed RPN order.
+        self.flush_lanes();
+        for r in 0..self.rpns.len() {
+            self.merge_outbox(ctx, r);
+        }
         // Watchdog: a node that has gone silent for `watchdog_grace_cycles`
         // accounting cycles is declared down, excluded from dispatch (its
         // in-flight work is written off) and its splice routes are purged.
@@ -671,6 +805,18 @@ impl World {
             self.dispatch_to_rpn(ctx, d.subscriber, d.rpn, d.request, d.predicted);
         }
         self.dispatch_buf = dispatches;
+        self.sched_ticks += 1;
+        // Every 64th cycle, snapshot the DES queue's operational counters
+        // into the trace so tracedump --stats can plot queue health.
+        if self.sched_ticks % 64 == 1 && self.tracer.is_enabled() {
+            let s = ctx.queue_stats();
+            self.tracer.emit(TraceEvent::QueueStats {
+                depth: s.depth as u32,
+                scheduled: s.scheduled,
+                cancelled: s.cancelled,
+                cascades: s.cascades,
+            });
+        }
         ctx.schedule_in(SimDuration::from_secs_f64(cycle), Ev::SchedTick);
     }
 
@@ -717,32 +863,16 @@ impl World {
 
     // ---- RPN ----
 
-    fn on_rpn_packet(
-        &mut self,
-        ctx: &mut Context<'_, Ev>,
-        rpn_idx: u16,
-        pkt: Packet,
-        meta: Option<DispatchMeta>,
-    ) {
+    fn on_rpn_arrive(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, meta: DispatchMeta) {
         if self.dead_rpns[rpn_idx as usize] {
-            // The node is down. Bridged packets vanish, but a freshly
-            // dispatched request is pulled back by the RDN (delivery
-            // failure is visible at the link layer): its booking is voided
-            // and it rejoins the head of its queue for another node.
-            if let Some(meta) = meta {
-                self.requeue_undelivered(ctx, rpn_idx, pkt, meta);
-            }
+            // The node is down; delivery failure is visible at the link
+            // layer, so the RDN pulls the dispatch back: its booking is
+            // voided and it rejoins the head of its queue for another node.
+            self.requeue_undelivered(ctx, rpn_idx, meta);
             return;
         }
-        let Some(meta) = meta else {
-            // Bridged packet on an established connection (stray ACK/FIN
-            // after completion): remap and drop. Costs for the bulk ACK
-            // stream are charged at response time.
-            return;
-        };
-        let speed = self.params.rpn_speed;
-        let (data_pkts, ack_pkts) = self.response_packet_counts(meta.size);
-        let gage_overhead_us = match self.params.mode {
+        let (data_pkts, ack_pkts) = response_packet_counts(&self.params.network, meta.size);
+        let overhead_us = match self.params.mode {
             GageMode::Enabled => self.params.gage_rpn_overhead_us(data_pkts, ack_pkts),
             GageMode::Bypass => 0.0,
         };
@@ -755,13 +885,10 @@ impl World {
             .as_ref()
             .filter(|d| meta.path.starts_with(&d.path_prefix))
             .map(|d| d.cpu_multiplier);
-        let service_cpu_us = self.params.service.cpu_us(meta.size) * dynamic.unwrap_or(1.0);
-        let cpu_us = (service_cpu_us + gage_overhead_us) / speed;
-
         let rpn = &mut self.rpns[rpn_idx as usize];
         rpn.isn_counter = rpn.isn_counter.wrapping_add(104_729);
         let splice = SpliceMap::new_traced(
-            pkt.src(),
+            meta.conn.src,
             self.cluster_ep,
             rpn.ip,
             meta.rdn_isn,
@@ -769,22 +896,6 @@ impl World {
             meta.req,
             &self.tracer,
         );
-        let disk_us = match self.params.service.disk {
-            DiskPolicy::None => 0.0,
-            DiskPolicy::PerRequest { us } => us,
-            DiskPolicy::Cache {
-                seek_us,
-                transfer_bytes_per_sec,
-                ..
-            } => {
-                let cache = rpn.cache.as_mut().expect("cache policy has a cache");
-                if cache.access(&meta.path, meta.size) {
-                    0.0
-                } else {
-                    seek_us + meta.size as f64 / transfer_bytes_per_sec * 1e6
-                }
-            }
-        };
         let worker = rpn.workers[meta.sub.0 as usize];
         let (pid, reap_pid) = if dynamic.is_some() {
             match rpn.processes.spawn_child(worker) {
@@ -794,47 +905,46 @@ impl World {
         } else {
             (worker, false)
         };
-        let conn = pkt.four_tuple();
+        rpn.outstanding += meta.predicted;
         rpn.active.insert(
-            conn,
+            meta.conn,
             ActiveReq {
                 sub: meta.sub,
                 req: meta.req,
                 predicted: meta.predicted,
                 splice,
                 size: meta.size,
-                disk_us,
-                cpu_us: cpu_us * speed, // account in reference-machine µs
+                disk_us: 0.0,
+                cpu_us: 0.0,
                 net_bytes: 0.0,
                 pid,
                 reap_pid,
+                cpu_fin: SimTime::MAX,
+                disk_fin: SimTime::MAX,
+                nic_fin: SimTime::MAX,
             },
         );
-        let epoch = rpn.epoch;
-        let fin = rpn
-            .cpu
-            .enqueue(ctx.now(), SimDuration::from_secs_f64(cpu_us / 1e6), conn);
-        ctx.schedule_at(
-            fin,
-            Ev::CpuDone {
-                rpn: rpn_idx,
-                epoch,
-            },
-        );
+        rpn.inbox.push(LaneJob {
+            conn: meta.conn,
+            ready: ctx.now(),
+            path: meta.path,
+            size: meta.size,
+            cpu_mult: dynamic.unwrap_or(1.0),
+            overhead_us,
+        });
+        if self.params.mode == GageMode::Bypass {
+            // No scheduling tick exists to act as the barrier: flush this
+            // lane inline, which reproduces exact unbatched timing.
+            flush_lane(&mut self.rpns[rpn_idx as usize], &self.params);
+            self.merge_outbox(ctx, rpn_idx as usize);
+        }
     }
 
     /// Pulls back a dispatch that bounced off a dead node: removes its
     /// route, refunds its scheduler booking and puts it back at the head of
     /// its queue (or refuses it if the queue has since filled).
-    fn requeue_undelivered(
-        &mut self,
-        ctx: &mut Context<'_, Ev>,
-        rpn_idx: u16,
-        pkt: Packet,
-        meta: DispatchMeta,
-    ) {
-        let conn = pkt.four_tuple();
-        self.conn_table.remove(conn);
+    fn requeue_undelivered(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, meta: DispatchMeta) {
+        self.conn_table.remove(meta.conn);
         match self.params.mode {
             GageMode::Enabled => {
                 self.scheduler
@@ -845,21 +955,20 @@ impl World {
                     rpn: rpn_idx,
                 });
                 let req = PendingRequest {
-                    conn,
+                    conn: meta.conn,
                     req: meta.req,
-                    url_pkt: pkt,
                     rdn_isn: meta.rdn_isn,
                     path: meta.path,
                     size: meta.size,
                     enqueued_at: ctx.now(),
                 };
                 if let Err(req) = self.scheduler.requeue(meta.sub, req) {
-                    self.refuse_with_rst(ctx, meta.sub.0, &req.url_pkt);
+                    self.refuse(ctx, meta.sub.0, req.conn);
                 }
             }
             GageMode::Bypass => {
                 // No scheduler queues to return to: refuse outright.
-                self.refuse_with_rst(ctx, meta.sub.0, &pkt);
+                self.refuse(ctx, meta.sub.0, meta.conn);
             }
         }
     }
@@ -870,84 +979,21 @@ impl World {
         self.dead_rpns[rpn_idx as usize] || self.rpns[rpn_idx as usize].epoch != epoch
     }
 
-    fn on_cpu_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
+    /// A request's NIC stage drained: settle its accounting, charge the
+    /// bridged ACK/FIN stream, tear the splice down and send the response
+    /// on its final hop to the client.
+    fn on_complete(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        rpn_idx: u16,
+        epoch: u32,
+        conn: FourTuple,
+    ) {
         if self.stale_epoch(rpn_idx, epoch) {
             return;
         }
-        let rpn = &mut self.rpns[rpn_idx as usize];
-        let Some(conn) = rpn.cpu.complete() else {
+        let Some(req) = self.rpns[rpn_idx as usize].active.remove(&conn) else {
             return;
-        };
-        let Some(req) = rpn.active.get(&conn) else {
-            return;
-        };
-        if req.disk_us > 0.0 {
-            let fin = rpn.disk.enqueue(
-                ctx.now(),
-                SimDuration::from_secs_f64(req.disk_us / 1e6),
-                conn,
-            );
-            ctx.schedule_at(
-                fin,
-                Ev::DiskDone {
-                    rpn: rpn_idx,
-                    epoch,
-                },
-            );
-        } else {
-            self.start_nic_send(ctx, rpn_idx, conn);
-        }
-    }
-
-    fn on_disk_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
-        if self.stale_epoch(rpn_idx, epoch) {
-            return;
-        }
-        let rpn = &mut self.rpns[rpn_idx as usize];
-        let Some(conn) = rpn.disk.complete() else {
-            return;
-        };
-        self.start_nic_send(ctx, rpn_idx, conn);
-    }
-
-    fn start_nic_send(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, conn: FourTuple) {
-        let wire = {
-            let rpn = &self.rpns[rpn_idx as usize];
-            let Some(req) = rpn.active.get(&conn) else {
-                return;
-            };
-            self.response_wire_bytes(req.size)
-        };
-        let service =
-            SimDuration::from_secs_f64(wire / self.params.network.rpn_egress_bytes_per_sec);
-        let rpn = &mut self.rpns[rpn_idx as usize];
-        if let Some(req) = rpn.active.get_mut(&conn) {
-            req.net_bytes = wire;
-        }
-        let epoch = rpn.epoch;
-        let fin = rpn.nic.enqueue(ctx.now(), service, conn);
-        ctx.schedule_at(
-            fin,
-            Ev::NicDone {
-                rpn: rpn_idx,
-                epoch,
-            },
-        );
-    }
-
-    fn on_nic_done(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, epoch: u32) {
-        if self.stale_epoch(rpn_idx, epoch) {
-            return;
-        }
-        let (conn, req) = {
-            let rpn = &mut self.rpns[rpn_idx as usize];
-            let Some(conn) = rpn.nic.complete() else {
-                return;
-            };
-            let Some(req) = rpn.active.remove(&conn) else {
-                return;
-            };
-            (conn, req)
         };
         let sub = req.sub;
         req.splice.trace_teardown(req.req, &self.tracer);
@@ -971,11 +1017,11 @@ impl World {
             acc.completed += 1;
             rpn.total_cycle_usage += actual;
             rpn.completed_requests += 1;
+            rpn.outstanding -= req.predicted;
         }
 
         // The client's ACK/FIN stream transits the RDN bridge.
-        let (data_pkts, ack_pkts) = self.response_packet_counts(req.size);
-        let _ = data_pkts;
+        let (_data_pkts, ack_pkts) = response_packet_counts(&self.params.network, req.size);
         self.charge_rdn(
             ctx.now(),
             ack_pkts + 1,
@@ -1012,16 +1058,13 @@ impl World {
             let total = rpn.total_cycle_usage;
             rpn.total_cycle_usage = ResourceVector::ZERO;
             // The node reports its own remaining predicted backlog so the
-            // RDN's outstanding estimate re-anchors to ground truth.
-            let outstanding_predicted = rpn
-                .active
-                .values()
-                .map(|r| r.predicted)
-                .sum::<ResourceVector>();
+            // RDN's outstanding estimate re-anchors to ground truth. The
+            // running sum replaces the old per-tick walk over every active
+            // request.
             UsageReport {
                 rpn: RpnId(rpn_idx),
                 total,
-                outstanding_predicted,
+                outstanding_predicted: rpn.outstanding,
                 per_subscriber,
             }
         };
@@ -1038,7 +1081,12 @@ impl World {
         if lost {
             self.lost_reports += 1;
         } else {
-            ctx.schedule_in(hop, Ev::Report { report });
+            ctx.schedule_in(
+                hop,
+                Ev::Report {
+                    report: Box::new(report),
+                },
+            );
         }
         // Each node's periodic timer runs on its own crystal: a fixed skew
         // of a few hundred ppm. Reports therefore stay clustered across the
@@ -1061,9 +1109,10 @@ impl World {
 
     // ---- fault injection ----
 
-    /// Fail-stop crash: the node's in-flight work, process table, cache and
-    /// queues are lost, and its boot epoch advances so every event scheduled
-    /// against the old life is stale. Idempotent.
+    /// Fail-stop crash: the node's in-flight work (inbox included),
+    /// process table, cache and service lines are lost, and its boot epoch
+    /// advances so every event scheduled against the old life is stale.
+    /// Idempotent.
     fn on_crash(&mut self, rpn_idx: u16) {
         let idx = rpn_idx as usize;
         if self.dead_rpns[idx] {
@@ -1074,9 +1123,12 @@ impl World {
         let rpn = &mut self.rpns[idx];
         rpn.epoch = rpn.epoch.wrapping_add(1);
         rpn.active.clear();
-        rpn.cpu = FifoServer::new();
-        rpn.disk = FifoServer::new();
-        rpn.nic = FifoServer::new();
+        rpn.inbox.clear();
+        rpn.outbox.clear();
+        rpn.outstanding = ResourceVector::ZERO;
+        rpn.cpu = BusyLine::new();
+        rpn.disk = BusyLine::new();
+        rpn.nic = BusyLine::new();
         let mut processes = ProcessTable::new();
         rpn.workers = (0..n_sites)
             .map(|s| processes.launch_entity_root(SubscriberId(s as u32)))
@@ -1137,18 +1189,26 @@ impl World {
         (loads, subs)
     }
 
-    /// Debug view: per-RPN (active requests, cpu queue, disk queue, nic
-    /// queue) occupancy.
+    /// Debug view: per-RPN (active requests, cpu stage, disk stage, nic
+    /// stage) occupancy. A request counts toward the stage whose finish
+    /// time is still in the future at the last handled event (inbox-
+    /// resident requests count as CPU-stage: they have not started).
     pub fn rpn_occupancy(&self) -> Vec<(usize, usize, usize, usize)> {
+        let now = self.last_event_at;
         self.rpns
             .iter()
             .map(|r| {
-                (
-                    r.active.len(),
-                    r.cpu.in_flight(),
-                    r.disk.in_flight(),
-                    r.nic.in_flight(),
-                )
+                let (mut cpu, mut disk, mut nic) = (0, 0, 0);
+                for a in r.active.values() {
+                    if a.cpu_fin > now {
+                        cpu += 1;
+                    } else if a.disk_fin > now {
+                        disk += 1;
+                    } else {
+                        nic += 1;
+                    }
+                }
+                (r.active.len(), cpu, disk, nic)
             })
             .collect()
     }
@@ -1159,36 +1219,6 @@ impl World {
     pub fn degrade_scale(&self) -> f64 {
         self.scheduler.degrade_scale()
     }
-
-    fn subscriber_of_client(&self, client: Endpoint) -> Option<u32> {
-        // Client addressing encodes the subscriber (see client_endpoint).
-        let o = client.ip.octets();
-        if o[0] != 10 || o[1] < 10 {
-            return None;
-        }
-        let sub = (o[1] as u32 - 10) * 250 + o[2] as u32;
-        (sub < self.registry.len() as u32).then_some(sub)
-    }
-}
-
-/// Extracts the `X-Size` response-size hint the simulated clients embed in
-/// their requests (the trace knows the true response size; the simulated
-/// server honours it).
-fn x_size_hint(pkt: &Packet) -> Option<u64> {
-    let text = std::str::from_utf8(&pkt.payload).ok()?;
-    text.lines()
-        .find_map(|l| l.strip_prefix("X-Size: "))
-        .and_then(|v| v.trim().parse().ok())
-}
-
-/// Extracts the `X-Req` run-wide request id the simulated clients embed in
-/// their requests, threading each dispatch into its request's causal
-/// timeline (the id is stable across retries).
-fn x_req_hint(pkt: &Packet) -> Option<u64> {
-    let text = std::str::from_utf8(&pkt.payload).ok()?;
-    text.lines()
-        .find_map(|l| l.strip_prefix("X-Req: "))
-        .and_then(|v| v.trim().parse().ok())
 }
 
 impl Model for World {
@@ -1198,26 +1228,25 @@ impl Model for World {
         // Keep the trace clock on virtual time: every record emitted while
         // handling this event is stamped with the event's instant.
         self.tracer.set_now(ctx.now());
+        self.last_event_at = ctx.now();
         match event {
             Ev::Issue { sub, idx } => self.on_issue(ctx, sub, idx),
-            Ev::RdnPacket { pkt } => self.on_rdn_packet(ctx, pkt),
-            Ev::RpnPacket { rpn, pkt, meta } => self.on_rpn_packet(ctx, rpn, pkt, meta),
-            Ev::ClientPacket { sub, pkt } => self.on_client_packet(ctx, sub, pkt),
+            Ev::UrlArrive { sub, conn } => self.on_url_arrive(ctx, sub, conn),
+            Ev::ClientRst { sub, conn } => self.on_client_rst(ctx, sub, conn),
+            Ev::RpnArrive { rpn, meta } => self.on_rpn_arrive(ctx, rpn, *meta),
+            Ev::Complete { rpn, epoch, conn } => self.on_complete(ctx, rpn, epoch, conn),
             Ev::ResponseArrive { sub, conn } => self.on_response_arrive(ctx, sub, conn),
             Ev::ClientTimeout { sub, conn, attempt } => {
                 self.on_client_timeout(ctx, sub, conn, attempt)
             }
             Ev::SchedTick => self.on_sched_tick(ctx),
             Ev::AcctTick { rpn, epoch } => self.on_acct_tick(ctx, rpn, epoch),
-            Ev::Report { report } => self.on_report(ctx, report),
+            Ev::Report { report } => self.on_report(ctx, *report),
             // Fail-stop: the node vanishes. The RDN only learns of it when
             // the report watchdog fires; until then dispatches bounce off
             // the dead node and are re-queued.
             Ev::CrashRpn { rpn } => self.on_crash(rpn),
             Ev::RecoverRpn { rpn } => self.on_recover(ctx, rpn),
-            Ev::CpuDone { rpn, epoch } => self.on_cpu_done(ctx, rpn, epoch),
-            Ev::DiskDone { rpn, epoch } => self.on_disk_done(ctx, rpn, epoch),
-            Ev::NicDone { rpn, epoch } => self.on_nic_done(ctx, rpn, epoch),
         }
     }
 }
@@ -1271,13 +1300,16 @@ impl ClusterSim {
             rpns.push(Rpn {
                 ip: Ipv4Addr::new(10, 0, 2, (i + 1) as u8),
                 mac: MacAddr::from_node_id((i + 1) as u16),
-                cpu: FifoServer::new(),
-                disk: FifoServer::new(),
-                nic: FifoServer::new(),
+                cpu: BusyLine::new(),
+                disk: BusyLine::new(),
+                nic: BusyLine::new(),
                 cache,
                 processes,
                 workers,
                 active: DetMap::new(),
+                inbox: Vec::new(),
+                outbox: Vec::new(),
+                outstanding: ResourceVector::ZERO,
                 isn_counter: 7,
                 cycle: vec![CycleAccum::default(); sites.len()],
                 total_cycle_usage: ResourceVector::ZERO,
@@ -1287,7 +1319,7 @@ impl ClusterSim {
                 clock_skew: {
                     let h = seed
                         .wrapping_mul(6_364_136_223_846_793_005)
-                        .wrapping_add(i as u64 * 1_442_695_040_888_963_407);
+                        .wrapping_add((i as u64).wrapping_mul(1_442_695_040_888_963_407));
                     let ppm = ((h >> 33) % 401) as f64 - 200.0;
                     1.0 + ppm * 1e-6
                 },
@@ -1299,7 +1331,6 @@ impl ClusterSim {
             cluster_ep: Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
             scheduler,
             conn_table: ConnTable::new(),
-            pending_handshakes: DetMap::new(),
             rpns,
             clients: (0..n_sites)
                 .map(|_| ClientSide {
@@ -1324,6 +1355,8 @@ impl ClusterSim {
             lost_reports: 0,
             faults: FaultState::inactive(),
             dispatch_buf: Vec::new(),
+            sched_ticks: 0,
+            last_event_at: SimTime::ZERO,
             tracer: Tracer::disabled(),
             client_url: DetMap::new(),
             traces: sites.iter().map(|s| s.trace.clone()).collect(),
@@ -1409,11 +1442,18 @@ impl ClusterSim {
     }
 
     /// Builds a live metrics snapshot of the whole cluster: connection
-    /// table, RDN, scheduler counters per subscriber, and per-RPN state.
+    /// table, RDN, DES event queue, scheduler counters per subscriber, and
+    /// per-RPN state.
     pub fn registry(&self) -> Registry {
         let w = self.world();
         let mut reg = Registry::new();
         w.conn_table.export_metrics(&mut reg);
+        let qs = self.sim.queue_stats();
+        reg.set_counter("des.queue_depth", qs.depth);
+        reg.set_counter("des.events_scheduled", qs.scheduled);
+        reg.set_counter("des.events_cancelled", qs.cancelled);
+        reg.set_counter("des.wheel_cascades", qs.cascades);
+        reg.set_counter("des.wheel_compactions", qs.compactions);
         reg.set_counter("rdn.packets", w.rdn_metrics.packet_count);
         reg.set_counter("rdn.unknown_host_drops", w.unknown_host_drops);
         reg.set_counter("sched.reserved_dispatches", w.reserved_dispatches);
@@ -1526,10 +1566,18 @@ impl ClusterSim {
         self.sim.model()
     }
 
-    /// Events the underlying DES kernel has processed so far. With wall
-    /// time this yields the events/sec figure the hot-path bench tracks.
+    /// Events the underlying DES kernel has processed so far: physical
+    /// pops plus the logical per-packet events the batched handlers
+    /// collapse. With wall time this yields the events/sec figure the
+    /// hot-path bench tracks.
     pub fn events_processed(&self) -> u64 {
         self.sim.events_processed()
+    }
+
+    /// Operational counters of the DES event queue (depth, schedule and
+    /// cancel totals, wheel cascades/compactions).
+    pub fn queue_stats(&self) -> gage_des::QueueStats {
+        self.sim.queue_stats()
     }
 
     /// Current simulated time.
@@ -1583,6 +1631,70 @@ impl ClusterSim {
             conn_hit_rate: w.conn_table.hit_rate(),
             conn_evictions: w.conn_table.evictions(),
             window: (from, to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+
+    fn sim_with_lanes(lanes: usize) -> ClusterSim {
+        let params = ClusterParams {
+            rpn_count: 8,
+            lanes,
+            ..Default::default()
+        };
+        ClusterSim::new(params, Vec::new(), 7)
+    }
+
+    fn stuff_inboxes(world: &mut World, per_rpn: usize) {
+        for (r, rpn) in world.rpns.iter_mut().enumerate() {
+            for j in 0..per_rpn {
+                let i = (r * per_rpn + j) as u32;
+                let conn = FourTuple::new(
+                    Endpoint::new(
+                        Ipv4Addr::new(10, 1, (i >> 8) as u8, i as u8),
+                        Port::new(2_000),
+                    ),
+                    Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
+                );
+                rpn.inbox.push(LaneJob {
+                    conn,
+                    ready: SimTime::from_nanos(u64::from(i) * 1_000),
+                    path: format!("/f{}.html", i % 37),
+                    size: 1_000 + u64::from(i % 5_000),
+                    cpu_mult: 1.0,
+                    overhead_us: 75.0,
+                });
+            }
+        }
+    }
+
+    /// The scoped-thread flush path (reached only above the parallel
+    /// threshold, which no small workload crosses) must compute exactly
+    /// what the inline path computes.
+    #[test]
+    fn threaded_flush_matches_inline_flush() {
+        let mut inline = sim_with_lanes(1);
+        let mut threaded = sim_with_lanes(4);
+        // 8 RPNs x 200 jobs = 1600, comfortably above the 1024-job
+        // threshold, so lanes=4 genuinely takes std::thread::scope.
+        stuff_inboxes(inline.sim.model_mut(), 200);
+        stuff_inboxes(threaded.sim.model_mut(), 200);
+        inline.sim.model_mut().flush_lanes();
+        threaded.sim.model_mut().flush_lanes();
+        for (a, b) in inline.world().rpns.iter().zip(threaded.world().rpns.iter()) {
+            assert!(a.inbox.is_empty() && b.inbox.is_empty());
+            assert_eq!(a.outbox.len(), 200);
+            for (x, y) in a.outbox.iter().zip(b.outbox.iter()) {
+                assert_eq!(x.conn, y.conn);
+                assert_eq!(x.fin, y.fin);
+                assert_eq!(x.has_disk, y.has_disk);
+            }
+            assert_eq!(a.cpu.busy_until(), b.cpu.busy_until());
+            assert_eq!(a.disk.busy_until(), b.disk.busy_until());
+            assert_eq!(a.nic.busy_until(), b.nic.busy_until());
         }
     }
 }

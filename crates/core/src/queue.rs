@@ -40,6 +40,10 @@ pub struct SubscriberQueues<R> {
     capacity: usize,
     dropped: Vec<u64>,
     accepted: Vec<u64>,
+    /// Requests across all queues, maintained incrementally so the
+    /// per-cycle backlog reads (`total_len`, `all_empty`) are O(1) instead
+    /// of a walk over every subscriber.
+    total: usize,
 }
 
 impl<R> SubscriberQueues<R> {
@@ -56,6 +60,7 @@ impl<R> SubscriberQueues<R> {
             capacity,
             dropped: vec![0; subscribers],
             accepted: vec![0; subscribers],
+            total: 0,
         }
     }
 
@@ -83,6 +88,7 @@ impl<R> SubscriberQueues<R> {
         }
         q.push_back(request);
         self.accepted[idx] += 1;
+        self.total += 1;
         Ok(Enqueued::Accepted)
     }
 
@@ -107,12 +113,17 @@ impl<R> SubscriberQueues<R> {
             return Err(request);
         }
         q.push_front(request);
+        self.total += 1;
         Ok(Enqueued::Accepted)
     }
 
     /// Removes the head of `sub`'s queue.
     pub fn dequeue(&mut self, sub: SubscriberId) -> Option<R> {
-        self.queues[sub.0 as usize].pop_front()
+        let popped = self.queues[sub.0 as usize].pop_front();
+        if popped.is_some() {
+            self.total -= 1;
+        }
+        popped
     }
 
     /// Peeks the head of `sub`'s queue.
@@ -132,7 +143,8 @@ impl<R> SubscriberQueues<R> {
 
     /// Total requests currently queued across all subscribers.
     pub fn total_len(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        debug_assert_eq!(self.total, self.queues.iter().map(VecDeque::len).sum());
+        self.total
     }
 
     /// Cumulative drops for `sub`.
@@ -147,7 +159,7 @@ impl<R> SubscriberQueues<R> {
 
     /// True if every queue is empty.
     pub fn all_empty(&self) -> bool {
-        self.queues.iter().all(|q| q.is_empty())
+        self.total_len() == 0
     }
 }
 

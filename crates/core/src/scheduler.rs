@@ -138,6 +138,9 @@ pub struct RequestScheduler<R> {
     tracer: Tracer,
     /// Cycles run since construction, for `SchedCycle` records.
     cycles: u64,
+    /// Scratch weight-per-subscriber buffer for the spare pass, kept
+    /// across cycles so the 10 ms tick never touches the allocator.
+    spare_weights: Vec<f64>,
     /// Graceful-degradation multiplier applied to every reservation this
     /// cycle: 1.0 while live capacity covers the sum of reservations,
     /// proportionally less when nodes are down (0.0 if all are).
@@ -171,6 +174,7 @@ impl<R: TraceTag> RequestScheduler<R> {
             cfg,
             rr_cursor: 0,
             spare_deficit: vec![0.0; n],
+            spare_weights: vec![0.0; n],
             completed: vec![0; n],
             tracer: Tracer::disabled(),
             cycles: 0,
@@ -448,8 +452,17 @@ impl<R: TraceTag> RequestScheduler<R> {
     /// long-run spare share is proportional to the weights even when only a
     /// fraction of a slot is free per cycle.
     fn run_spare_pass(&mut self, dispatches: &mut Vec<Dispatch<R>>) {
+        // The weight buffer lives on the scheduler and is loaned to the
+        // pass, so the early returns below cannot leak it back to the
+        // allocator each cycle.
+        let mut weights = std::mem::take(&mut self.spare_weights);
+        weights.resize(self.reservations.len(), 0.0);
+        self.spare_pass_rounds(dispatches, &mut weights);
+        self.spare_weights = weights;
+    }
+
+    fn spare_pass_rounds(&mut self, dispatches: &mut Vec<Dispatch<R>>, weights: &mut [f64]) {
         let n = self.reservations.len();
-        let mut weights = vec![0.0f64; n];
         loop {
             // Backlogged queues and their weights. Empty queues forfeit any
             // accumulated spare credit (standard DRR reset).
@@ -477,7 +490,7 @@ impl<R: TraceTag> RequestScheduler<R> {
             // exactly one slot per round. Carried credit is capped so a
             // long capacity-starved queue cannot burst far beyond its
             // proportional share later.
-            for (deficit, &w) in self.spare_deficit.iter_mut().zip(&weights) {
+            for (deficit, &w) in self.spare_deficit.iter_mut().zip(weights.iter()) {
                 if w > 0.0 {
                     *deficit = (*deficit + w / max_w).min(16.0);
                 }

@@ -3,6 +3,7 @@
 use crate::event::{EventId, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::QueueStats;
 
 /// A simulation model: owns all mutable world state and reacts to events.
 ///
@@ -23,6 +24,7 @@ pub struct Context<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     rng: &'a mut SimRng,
+    logical: &'a mut u64,
 }
 
 impl<'a, E> Context<'a, E> {
@@ -52,6 +54,21 @@ impl<'a, E> Context<'a, E> {
     /// The engine's deterministic random stream.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// Credits `n` logical events to the engine's processed-event count.
+    ///
+    /// Batched handlers (e.g. a struct-of-arrays pass that retires a whole
+    /// scheduling cycle's worth of per-packet work inside one physical
+    /// event) use this so `events_processed` keeps measuring simulated
+    /// work, not dispatch overhead.
+    pub fn count_logical(&mut self, n: u64) {
+        *self.logical += n;
+    }
+
+    /// Operational counters of the underlying event queue.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 }
 
@@ -84,6 +101,7 @@ pub struct Simulation<M: Model> {
     rng: SimRng,
     now: SimTime,
     events_processed: u64,
+    logical_events: u64,
 }
 
 impl<M: Model> Simulation<M> {
@@ -95,6 +113,7 @@ impl<M: Model> Simulation<M> {
             rng: SimRng::seed_from(seed),
             now: SimTime::ZERO,
             events_processed: 0,
+            logical_events: 0,
         }
     }
 
@@ -103,9 +122,15 @@ impl<M: Model> Simulation<M> {
         self.now
     }
 
-    /// Total events handled so far.
+    /// Total events handled so far: physical pops plus logical events
+    /// credited by batched handlers via [`Context::count_logical`].
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events_processed + self.logical_events
+    }
+
+    /// Operational counters of the underlying event queue.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Shared access to the model (for inspection between runs).
@@ -147,6 +172,7 @@ impl<M: Model> Simulation<M> {
             now: self.now,
             queue: &mut self.queue,
             rng: &mut self.rng,
+            logical: &mut self.logical_events,
         };
         self.model.handle(&mut ctx, scheduled.event);
         true

@@ -1,11 +1,9 @@
 //! Cancellable timestamped event queue.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use gage_collections::{Slab, SlabKey};
+use gage_collections::SlabKey;
 
 use crate::time::SimTime;
+use crate::wheel::{QueueStats, TimingWheel};
 
 /// Opaque handle identifying a scheduled event, usable to cancel it before
 /// it fires (e.g. a retransmission timer disarmed by an ACK).
@@ -28,46 +26,16 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
-#[derive(Debug)]
-struct HeapEntry<E> {
-    at: SimTime,
-    /// Monotonic schedule order, the deterministic FIFO tie-break.
-    seq: u64,
-    /// Liveness handle in the arena; dead handles mark tombstones.
-    slot: SlabKey,
-    event: E,
-}
-
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapEntry<E> {}
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for HeapEntry<E> {
-    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first,
-    // breaking ties by insertion order for determinism.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A priority queue of events ordered by firing time with deterministic
-/// FIFO tie-breaking and lazy cancellation.
+/// FIFO tie-breaking and O(1) cancellation.
 ///
-/// Cancellation removes the event's handle from a generational arena in
-/// O(1) and leaves the heap entry behind as a tombstone; `pop` and
-/// `peek_time` skip tombstones, and a compaction pass rebuilds the heap
-/// when tombstones outnumber live entries, so memory stays proportional to
-/// the live event count.
+/// Backed by a hierarchical timing wheel (see [`crate::wheel`]): the fine
+/// level buckets ~1 µs of virtual time, coarse levels cover 64× each, and
+/// far-future events cascade down as the clock approaches them. Pop order
+/// is exactly `(at, schedule order)` — byte-identical to the previous
+/// `BinaryHeap` implementation, including the handles it returns — but
+/// the common periodic-workload operations (schedule near-future, pop,
+/// cancel) are O(1) instead of O(log n).
 ///
 /// ```rust
 /// use gage_des::{EventQueue, SimTime};
@@ -80,13 +48,7 @@ impl<E> Ord for HeapEntry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
-    /// One live marker per scheduled-and-not-yet-fired event. A heap entry
-    /// whose slot no longer resolves here is a tombstone.
-    live: Slab<()>,
-    /// Tombstones currently buried in the heap.
-    tombs: usize,
-    next_seq: u64,
+    wheel: TimingWheel<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -99,89 +61,56 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            live: Slab::new(),
-            tombs: 0,
-            next_seq: 0,
+            wheel: TimingWheel::new(),
         }
     }
 
     /// Schedules `event` to fire at absolute time `at` and returns a handle
     /// that can cancel it.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let slot = self.live.insert(());
-        self.heap.push(HeapEntry {
-            at,
-            seq,
-            slot,
-            event,
-        });
-        EventId(slot.to_raw())
+        EventId(self.wheel.schedule(at.as_nanos(), event).to_raw())
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending, `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(SlabKey::from_raw(id.0)).is_none() {
-            return false;
-        }
-        self.tombs += 1;
-        self.maybe_compact();
-        true
+        self.wheel.cancel(SlabKey::from_raw(id.0))
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(entry) = self.heap.pop() {
-            if self.live.remove(entry.slot).is_some() {
-                return Some(ScheduledEvent {
-                    at: entry.at,
-                    id: EventId(entry.slot.to_raw()),
-                    event: entry.event,
-                });
-            }
-            self.tombs = self.tombs.saturating_sub(1);
-        }
-        None
+        self.wheel.pop().map(|(at, key, event)| ScheduledEvent {
+            at: SimTime::from_nanos(at),
+            id: EventId(key.to_raw()),
+            event,
+        })
     }
 
     /// Firing time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let entry = self.heap.peek()?;
-            if self.live.contains(entry.slot) {
-                return Some(entry.at);
-            }
-            self.heap.pop();
-            self.tombs = self.tombs.saturating_sub(1);
-        }
+        self.wheel.peek().map(SimTime::from_nanos)
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.wheel.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.wheel.is_empty()
     }
 
-    /// Rebuilds the heap without its tombstones once they dominate it, so a
-    /// cancel-heavy workload (timers disarmed by ACKs) cannot grow the heap
-    /// past a small multiple of the live event count. Retention preserves
-    /// `seq`, so the rebuilt heap pops in the same deterministic order.
-    fn maybe_compact(&mut self) {
-        if self.tombs <= 64 || self.tombs * 2 <= self.heap.len() {
-            return;
-        }
-        let mut entries = std::mem::take(&mut self.heap).into_vec();
-        entries.retain(|e| self.live.contains(e.slot));
-        self.heap = BinaryHeap::from(entries);
-        self.tombs = 0;
+    /// Operational counters: depth, lifetime schedule/cancel totals, wheel
+    /// cascades and compactions.
+    pub fn stats(&self) -> QueueStats {
+        self.wheel.stats()
+    }
+
+    #[cfg(test)]
+    fn stored_entries(&self) -> usize {
+        self.wheel.stored_entries()
     }
 }
 
@@ -268,6 +197,18 @@ mod tests {
     }
 
     #[test]
+    fn schedule_behind_peeked_time_still_pops_first() {
+        // Peeking may advance the wheel cursor past the head event's slot;
+        // a subsequent schedule at an earlier time must still pop first.
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "later");
+        assert_eq!(q.peek_time(), Some(t(10)));
+        q.schedule(t(2), "earlier");
+        assert_eq!(q.pop().unwrap().event, "earlier");
+        assert_eq!(q.pop().unwrap().event, "later");
+    }
+
+    #[test]
     fn interleaved_schedule_pop_cancel() {
         let mut q = EventQueue::new();
         let mut popped = Vec::new();
@@ -284,10 +225,22 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_queue_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        let s = q.stats();
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.scheduled, 2);
+        assert_eq!(s.cancelled, 1);
+    }
+
+    #[test]
     fn pop_after_10k_cancels_stays_correct() {
         // Tombstone compaction: bury 10k cancelled timers around a handful
         // of survivors and check pops still come out in time order, with
-        // the heap compacted well below the tombstone count.
+        // stored entries compacted well below the tombstone count.
         let mut q = EventQueue::new();
         let mut survivors = Vec::new();
         for i in 0u64..10_500 {
@@ -300,9 +253,9 @@ mod tests {
         }
         assert_eq!(q.len(), survivors.len());
         assert!(
-            q.heap.len() < 2_000,
-            "compaction should have pruned tombstones, heap len {}",
-            q.heap.len()
+            q.stored_entries() < 2_000,
+            "compaction should have pruned tombstones, stored {}",
+            q.stored_entries()
         );
         let mut popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
         assert_eq!(popped.len(), survivors.len());

@@ -47,8 +47,10 @@ mod event;
 mod rng;
 pub mod stats;
 mod time;
+mod wheel;
 
 pub use engine::{Context, Model, Simulation};
 pub use event::{EventId, EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use wheel::QueueStats;

@@ -221,6 +221,19 @@ pub enum TraceEvent {
         /// Reserved general requests per second.
         grps: f64,
     },
+    /// Periodic snapshot of the DES event queue's operational counters
+    /// (emitted every 64th scheduling cycle), so `tracedump --stats` can
+    /// plot queue health over a run.
+    QueueStats {
+        /// Events pending in the queue at the snapshot.
+        depth: u32,
+        /// Lifetime events scheduled.
+        scheduled: u64,
+        /// Lifetime events cancelled before firing.
+        cancelled: u64,
+        /// Lifetime timing-wheel level cascades.
+        cascades: u64,
+    },
 }
 
 /// The fieldless tag of a [`TraceEvent`] variant.
@@ -275,11 +288,13 @@ pub enum TraceKind {
     ReqComplete,
     /// `reservation`
     Reservation,
+    /// `queue_stats`
+    QueueStats,
 }
 
 impl TraceKind {
     /// Every kind, in declaration order.
-    pub const ALL: [TraceKind; 22] = [
+    pub const ALL: [TraceKind; 23] = [
         TraceKind::SchedCycle,
         TraceKind::Dispatch,
         TraceKind::Enqueue,
@@ -302,6 +317,7 @@ impl TraceKind {
         TraceKind::ReqDropped,
         TraceKind::ReqComplete,
         TraceKind::Reservation,
+        TraceKind::QueueStats,
     ];
 
     /// Stable snake_case tag used in dumps and `tracedump` filters.
@@ -329,6 +345,7 @@ impl TraceKind {
             TraceKind::ReqDropped => "req_dropped",
             TraceKind::ReqComplete => "req_complete",
             TraceKind::Reservation => "reservation",
+            TraceKind::QueueStats => "queue_stats",
         }
     }
 
@@ -364,6 +381,7 @@ impl TraceEvent {
             TraceEvent::ReqDropped { .. } => TraceKind::ReqDropped,
             TraceEvent::ReqComplete { .. } => TraceKind::ReqComplete,
             TraceEvent::Reservation { .. } => TraceKind::Reservation,
+            TraceEvent::QueueStats { .. } => TraceKind::QueueStats,
         }
     }
 
@@ -518,6 +536,17 @@ impl TraceEvent {
             TraceEvent::Reservation { sub, grps } => {
                 vec![("sub", Json::from(sub)), ("grps", Json::from(grps))]
             }
+            TraceEvent::QueueStats {
+                depth,
+                scheduled,
+                cancelled,
+                cascades,
+            } => vec![
+                ("depth", Json::from(depth)),
+                ("scheduled", Json::from(scheduled)),
+                ("cancelled", Json::from(cancelled)),
+                ("cascades", Json::from(cascades)),
+            ],
         }
     }
 }
@@ -569,6 +598,7 @@ impl TraceRing {
     }
 
     /// Appends a record, overwriting the oldest once full.
+    #[inline]
     pub fn push(&mut self, at: SimTime, event: TraceEvent) {
         let record = TraceRecord {
             seq: self.emitted,
@@ -576,12 +606,22 @@ impl TraceRing {
             event,
         };
         self.emitted += 1;
+        // Branch instead of `%`: the capacity is not a compile-time constant,
+        // and an integer divide on every push is measurable at the traced
+        // cluster simulation's event rate.
         if self.buf.len() < self.capacity {
             self.buf.push(record);
-            self.next = self.buf.len() % self.capacity;
+            self.next = if self.buf.len() == self.capacity {
+                0
+            } else {
+                self.buf.len()
+            };
         } else {
             self.buf[self.next] = record;
-            self.next = (self.next + 1) % self.capacity;
+            self.next += 1;
+            if self.next == self.capacity {
+                self.next = 0;
+            }
             self.overwritten += 1;
         }
     }
@@ -706,6 +746,7 @@ impl Tracer {
 
     /// Whether records are being retained. Emitters can use this to skip
     /// computing record payloads entirely when tracing is off.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.shared.is_some()
     }
@@ -713,6 +754,7 @@ impl Tracer {
     /// Sets the instant subsequent [`Tracer::emit`] calls are stamped with.
     /// The simulation loop calls this as virtual time advances; a no-op
     /// when disabled.
+    #[inline]
     pub fn set_now(&self, now: SimTime) {
         if let Some(s) = &self.shared {
             s.now_ns.store(now.as_nanos(), Ordering::Relaxed);
@@ -720,6 +762,7 @@ impl Tracer {
     }
 
     /// Emits a record stamped with the instant from [`Tracer::set_now`].
+    #[inline]
     pub fn emit(&self, event: TraceEvent) {
         if let Some(s) = &self.shared {
             let at = SimTime::from_nanos(s.now_ns.load(Ordering::Relaxed));
@@ -731,6 +774,7 @@ impl Tracer {
     }
 
     /// Emits a record stamped with an explicit instant.
+    #[inline]
     pub fn emit_at(&self, at: SimTime, event: TraceEvent) {
         if let Some(s) = &self.shared {
             s.ring
@@ -842,6 +886,12 @@ mod tests {
             TraceEvent::Reservation {
                 sub: 0,
                 grps: 150.0,
+            },
+            TraceEvent::QueueStats {
+                depth: 120,
+                scheduled: 10_000,
+                cancelled: 321,
+                cascades: 42,
             },
         ]
     }

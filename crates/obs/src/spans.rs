@@ -269,6 +269,7 @@ pub fn reconstruct_records(records: &[Json]) -> Result<SpanReport, String> {
             TraceKind::RoutesPurged => {}
             TraceKind::ReservationScale => {}
             TraceKind::Reservation => {}
+            TraceKind::QueueStats => {}
             TraceKind::ReqArrival => {
                 let req = u64_field(rec, "req").map_err(&fail)?;
                 let sub = sub_field(rec).map_err(&fail)?;
