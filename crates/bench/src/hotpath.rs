@@ -477,6 +477,7 @@ pub fn bench_sites(horizon: f64, load: f64) -> Vec<SiteSpec> {
 /// One cluster-simulation run configuration the suite measures.
 struct SimArm {
     rpn_count: usize,
+    rdn_count: usize,
     load: f64,
     lanes: usize,
     trace_capacity: Option<usize>,
@@ -487,6 +488,7 @@ struct SimArm {
 fn cluster_events_per_sec(horizon: f64, arm: &SimArm) -> f64 {
     let params = ClusterParams {
         rpn_count: arm.rpn_count,
+        rdn_count: arm.rdn_count,
         lanes: arm.lanes,
         service: ServiceCostModel::generic_requests(),
         ..Default::default()
@@ -519,6 +521,7 @@ fn bench_cluster_sim(quick: bool, points: &mut Vec<BenchPoint>) {
     // fold that drift into the few-percent overhead difference.
     let plain_arm = SimArm {
         rpn_count: 4,
+        rdn_count: 1,
         load: 1.0,
         lanes: 1,
         trace_capacity: None,
@@ -556,6 +559,7 @@ fn bench_cluster_sim(quick: bool, points: &mut Vec<BenchPoint>) {
     for (name, lanes) in [("cluster_sim_16rpn", 1), ("cluster_sim_16rpn_lanes4", 4)] {
         let arm = SimArm {
             rpn_count: 16,
+            rdn_count: 1,
             load: 4.0,
             lanes,
             trace_capacity: None,
@@ -563,6 +567,22 @@ fn bench_cluster_sim(quick: bool, points: &mut Vec<BenchPoint>) {
         let sampled = sample_throughput(samples, || cluster_events_per_sec(horizon, &arm));
         points.push(throughput_point(name, "events_per_sec", sampled));
     }
+
+    // The sharded front end at chaos-test scale (4 RDNs, 32 RPNs): the
+    // three benchmark sites hash across the shards, every accounting tick
+    // fans a report out to each front, and the fronts gossip their tables
+    // once per cycle. This prices the multi-RDN machinery itself — a
+    // regression here means the gossip/merge path got onto the per-event
+    // critical path.
+    let arm = SimArm {
+        rpn_count: 32,
+        rdn_count: 4,
+        load: 8.0,
+        lanes: 1,
+        trace_capacity: None,
+    };
+    let sampled = sample_throughput(samples, || cluster_events_per_sec(horizon, &arm));
+    points.push(throughput_point("multi_rdn_sim", "events_per_sec", sampled));
 }
 
 // --------------------------------------------------------- lint analysis
@@ -737,6 +757,7 @@ mod tests {
             "trace_overhead",
             "cluster_sim_16rpn",
             "cluster_sim_16rpn_lanes4",
+            "multi_rdn_sim",
             "audit_reconstruct",
             "lint_workspace",
         ] {

@@ -44,6 +44,46 @@ pub enum FaultEvent {
         /// Which node.
         rpn: u16,
     },
+    /// Fail-stop crash of front-end RDN `rdn` at `at`: its scheduler
+    /// state, connection routes and queued requests are lost, its
+    /// accounting epoch ends, and its subscriber shard fails over to a
+    /// surviving peer after the watchdog grace.
+    RdnCrash {
+        /// When the front end dies.
+        at: SimTime,
+        /// Which RDN.
+        rdn: u16,
+    },
+    /// Reboot of front-end RDN `rdn` at `at`: fresh scheduler, a new
+    /// accounting epoch, and its home shard fails back at the next
+    /// scheduling cycle.
+    RdnRecover {
+        /// When the front end comes back.
+        at: SimTime,
+        /// Which RDN.
+        rdn: u16,
+    },
+}
+
+impl FaultEvent {
+    /// When the transition fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Recover { at, .. }
+            | FaultEvent::RdnCrash { at, .. }
+            | FaultEvent::RdnRecover { at, .. } => at,
+        }
+    }
+
+    /// The node the transition targets, disambiguated by tier: RPNs and
+    /// RDNs live in separate id spaces.
+    fn target(&self) -> (u8, u16) {
+        match *self {
+            FaultEvent::Crash { rpn, .. } | FaultEvent::Recover { rpn, .. } => (0, rpn),
+            FaultEvent::RdnCrash { rdn, .. } | FaultEvent::RdnRecover { rdn, .. } => (1, rdn),
+        }
+    }
 }
 
 /// A window during which accounting reports are dropped with probability
@@ -84,6 +124,7 @@ pub struct FaultPlan {
     events: Vec<FaultEvent>,
     loss_windows: Vec<LossWindow>,
     link_faults: Vec<LinkFault>,
+    rdn_partitions: Vec<LinkFault>,
 }
 
 impl FaultPlan {
@@ -95,6 +136,7 @@ impl FaultPlan {
             events: Vec::new(),
             loss_windows: Vec::new(),
             link_faults: Vec::new(),
+            rdn_partitions: Vec::new(),
         }
     }
 
@@ -116,9 +158,64 @@ impl FaultPlan {
     }
 
     /// Scripts a crash at `at` followed by recovery `down_for` later.
+    ///
+    /// When a `crash_for` lands inside an existing crash/recover pair for
+    /// the same node, two transitions can coincide at one instant (e.g.
+    /// an earlier pair's recovery at the moment this crash fires). The
+    /// plan defines **last-scheduled wins**: among same-instant
+    /// transitions for one node, only the one added to the plan last is
+    /// applied (see [`FaultPlan::normalized_events`]), so overlapping
+    /// windows compose predictably instead of depending on event-queue
+    /// tie-breaking.
     pub fn crash_for(&mut self, at: SimTime, rpn: u16, down_for: SimDuration) -> &mut Self {
         self.crash_at(at, rpn);
         self.recover_at(at + down_for, rpn)
+    }
+
+    /// Scripts a fail-stop crash of front-end RDN `rdn` at `at`.
+    pub fn rdn_crash_at(&mut self, at: SimTime, rdn: u16) -> &mut Self {
+        self.events.push(FaultEvent::RdnCrash { at, rdn });
+        self
+    }
+
+    /// Scripts a reboot of front-end RDN `rdn` at `at`.
+    pub fn rdn_recover_at(&mut self, at: SimTime, rdn: u16) -> &mut Self {
+        self.events.push(FaultEvent::RdnRecover { at, rdn });
+        self
+    }
+
+    /// Scripts an RDN crash at `at` followed by recovery `down_for`
+    /// later. Same-instant overlaps resolve last-scheduled-wins, as for
+    /// [`FaultPlan::crash_for`].
+    pub fn rdn_crash_for(&mut self, at: SimTime, rdn: u16, down_for: SimDuration) -> &mut Self {
+        self.rdn_crash_at(at, rdn);
+        self.rdn_recover_at(at + down_for, rdn)
+    }
+
+    /// Adds an inter-RDN partition window (reusing the [`LinkFault`]
+    /// shape): gossip between RDN peers is dropped with `drop_prob`
+    /// (survivors delayed by `extra_delay`) while the window is active.
+    /// `rdn = Some(r)` isolates every link touching RDN `r`; `None`
+    /// partitions all inter-RDN links. Partitions affect only the
+    /// accounting gossip — shard ownership is decided by the scripted
+    /// crash schedule, never inferred from silence, so there is no
+    /// split-brain (see DESIGN.md §16).
+    pub fn rdn_partition(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        rdn: Option<u16>,
+        drop_prob: f64,
+        extra_delay: SimDuration,
+    ) -> &mut Self {
+        self.rdn_partitions.push(LinkFault {
+            from,
+            to,
+            rpn: rdn,
+            drop_prob,
+            extra_delay,
+        });
+        self
     }
 
     /// Adds a report-loss window: reports sent in `[from, to)` are dropped
@@ -181,6 +278,24 @@ impl FaultPlan {
         &self.events
     }
 
+    /// The events the simulator actually applies: insertion order, minus
+    /// same-instant duplicates per node — when several transitions target
+    /// one node at one instant (overlapping `crash_for` windows), only
+    /// the **last-scheduled** one survives. This makes overlap semantics
+    /// a property of the plan, not of event-queue tie-breaking.
+    pub fn normalized_events(&self) -> Vec<FaultEvent> {
+        let mut out: Vec<FaultEvent> = Vec::with_capacity(self.events.len());
+        for (i, ev) in self.events.iter().enumerate() {
+            let shadowed = self.events[i + 1..]
+                .iter()
+                .any(|later| later.at() == ev.at() && later.target() == ev.target());
+            if !shadowed {
+                out.push(*ev);
+            }
+        }
+        out
+    }
+
     /// The scripted report-loss windows.
     pub fn loss_windows(&self) -> &[LossWindow] {
         &self.loss_windows
@@ -189,6 +304,11 @@ impl FaultPlan {
     /// The scripted link-fault windows.
     pub fn link_faults(&self) -> &[LinkFault] {
         &self.link_faults
+    }
+
+    /// The scripted inter-RDN partition windows.
+    pub fn rdn_partitions(&self) -> &[LinkFault] {
+        &self.rdn_partitions
     }
 }
 
@@ -199,6 +319,7 @@ pub(crate) struct FaultState {
     rng: SimRng,
     loss_windows: Vec<LossWindow>,
     link_faults: Vec<LinkFault>,
+    rdn_partitions: Vec<LinkFault>,
 }
 
 impl FaultState {
@@ -208,6 +329,7 @@ impl FaultState {
             rng: SimRng::seed_from(0), // lint:allow(rng-stream-discipline) inactive placeholder, never drawn from; install() re-seeds
             loss_windows: Vec::new(),
             link_faults: Vec::new(),
+            rdn_partitions: Vec::new(),
         }
     }
 
@@ -216,6 +338,7 @@ impl FaultState {
         self.rng = SimRng::seed_from(plan.seed).split("faults");
         self.loss_windows = plan.loss_windows.clone();
         self.link_faults = plan.link_faults.clone();
+        self.rdn_partitions = plan.rdn_partitions.clone();
     }
 
     /// The active loss probability at `now`, or `None` when no window
@@ -233,6 +356,22 @@ impl FaultState {
         self.link_faults
             .iter()
             .find(|f| now >= f.from && now < f.to && f.rpn.is_none_or(|r| r == rpn))
+            .map(|f| (f.drop_prob, f.extra_delay))
+    }
+
+    /// The active (drop probability, extra delay) on the inter-RDN link
+    /// between peers `a` and `b` at `now`, or `None` when healthy. A
+    /// window with `rpn = Some(r)` isolates every link touching RDN `r`;
+    /// `None` partitions all inter-RDN links.
+    pub(crate) fn rdn_link_fault_at(
+        &self,
+        now: SimTime,
+        a: u16,
+        b: u16,
+    ) -> Option<(f64, SimDuration)> {
+        self.rdn_partitions
+            .iter()
+            .find(|f| now >= f.from && now < f.to && f.rpn.is_none_or(|r| r == a || r == b))
             .map(|f| (f.drop_prob, f.extra_delay))
     }
 
@@ -335,5 +474,109 @@ mod tests {
         );
         assert!(st.chance(1.0));
         assert!(!st.chance(0.0));
+    }
+
+    #[test]
+    fn overlapping_same_instant_events_resolve_last_scheduled_wins() {
+        let t = SimTime::from_secs(7);
+        // A crash_for whose crash lands exactly on an earlier pair's
+        // recovery: the crash was scheduled later, so it wins the instant.
+        let mut p = FaultPlan::new(1);
+        p.crash_for(SimTime::from_secs(3), 4, SimDuration::from_secs(4)); // recovery at 7
+        p.crash_for(t, 4, SimDuration::from_secs(2)); // crash at 7
+        let norm = p.normalized_events();
+        assert_eq!(
+            norm,
+            vec![
+                FaultEvent::Crash {
+                    at: SimTime::from_secs(3),
+                    rpn: 4
+                },
+                FaultEvent::Crash { at: t, rpn: 4 },
+                FaultEvent::Recover {
+                    at: SimTime::from_secs(9),
+                    rpn: 4
+                },
+            ],
+            "the recovery at t is shadowed by the later-scheduled crash at t"
+        );
+        // Reversed insertion order: now the recovery is scheduled last
+        // and wins the instant instead.
+        let mut q = FaultPlan::new(1);
+        q.crash_for(t, 4, SimDuration::from_secs(2));
+        q.crash_for(SimTime::from_secs(3), 4, SimDuration::from_secs(4));
+        let norm = q.normalized_events();
+        assert_eq!(
+            norm,
+            vec![
+                FaultEvent::Recover {
+                    at: SimTime::from_secs(9),
+                    rpn: 4
+                },
+                FaultEvent::Crash {
+                    at: SimTime::from_secs(3),
+                    rpn: 4
+                },
+                FaultEvent::Recover { at: t, rpn: 4 },
+            ],
+            "reversed insertion keeps the recovery, drops the crash"
+        );
+        // Raw events() is untouched by normalization.
+        assert_eq!(p.events().len(), 4);
+    }
+
+    #[test]
+    fn normalization_separates_rpn_and_rdn_id_spaces() {
+        let t = SimTime::from_secs(5);
+        let mut p = FaultPlan::new(1);
+        p.crash_at(t, 1).rdn_crash_at(t, 1);
+        assert_eq!(
+            p.normalized_events().len(),
+            2,
+            "RPN 1 and RDN 1 are distinct targets; neither shadows the other"
+        );
+        // Different nodes at the same instant also both survive.
+        let mut q = FaultPlan::new(1);
+        q.rdn_crash_at(t, 0).rdn_crash_at(t, 1);
+        assert_eq!(q.normalized_events().len(), 2);
+    }
+
+    #[test]
+    fn rdn_partitions_answer_membership() {
+        let mut plan = FaultPlan::new(1);
+        plan.rdn_partition(
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+            Some(1),
+            1.0,
+            SimDuration::ZERO,
+        );
+        plan.rdn_partition(
+            SimTime::from_secs(6),
+            SimTime::from_secs(7),
+            None,
+            0.5,
+            SimDuration::from_millis(2),
+        );
+        assert_eq!(plan.rdn_partitions().len(), 2);
+        let mut st = FaultState::inactive();
+        st.install(&plan);
+        let at = SimTime::from_secs(3);
+        assert_eq!(
+            st.rdn_link_fault_at(at, 0, 1),
+            Some((1.0, SimDuration::ZERO)),
+            "links touching RDN 1 are cut"
+        );
+        assert_eq!(
+            st.rdn_link_fault_at(at, 1, 2),
+            Some((1.0, SimDuration::ZERO))
+        );
+        assert_eq!(st.rdn_link_fault_at(at, 0, 2), None, "0<->2 unaffected");
+        assert_eq!(st.rdn_link_fault_at(SimTime::from_secs(4), 0, 1), None);
+        assert_eq!(
+            st.rdn_link_fault_at(SimTime::from_millis(6_500), 0, 3),
+            Some((0.5, SimDuration::from_millis(2))),
+            "wildcard partition cuts every inter-RDN link"
+        );
     }
 }

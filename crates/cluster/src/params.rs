@@ -258,6 +258,16 @@ impl Default for DynamicRequests {
 pub struct ClusterParams {
     /// Number of back-end RPNs.
     pub rpn_count: usize,
+    /// Number of peer front-end RDNs. Each owns a disjoint subscriber
+    /// shard (see [`ClusterParams::shard_of`]); peers exchange usage
+    /// accounting over the simulated network and adopt a dead peer's
+    /// shard after the watchdog grace. `1` (the default) reproduces the
+    /// paper's single-RDN front end exactly.
+    pub rdn_count: usize,
+    /// Explicit shard-map overrides: `(subscriber index, shard)` pairs
+    /// consulted before the hash. Out-of-range shards panic at
+    /// construction (configuration error).
+    pub shard_overrides: Vec<(u32, u16)>,
     /// QoS layer on or off.
     pub mode: GageMode,
     /// Scheduler tunables (scheduling cycle, spare policy, …).
@@ -309,6 +319,8 @@ impl Default for ClusterParams {
     fn default() -> Self {
         ClusterParams {
             rpn_count: 8,
+            rdn_count: 1,
+            shard_overrides: Vec::new(),
             mode: GageMode::Enabled,
             scheduler: SchedulerConfig::default(),
             accounting_cycle: SimDuration::from_millis(100),
@@ -336,6 +348,25 @@ impl ClusterParams {
         self.rpn_costs.conn_setup_us
             + self.rpn_costs.remap_out_us * data_packets as f64
             + self.rpn_costs.remap_in_us * ack_packets as f64
+    }
+
+    /// The home shard of subscriber `sub`: the explicit override when one
+    /// exists, otherwise a splitmix64-style hash of the subscriber index
+    /// modulo [`ClusterParams::rdn_count`] (consistent-hash flavour: the
+    /// map depends only on `(sub, rdn_count)`, never on registration
+    /// order, so it is stable across runs and identical on every peer).
+    pub fn shard_of(&self, sub: u32) -> u16 {
+        if let Some((_, shard)) = self.shard_overrides.iter().find(|(s, _)| *s == sub) {
+            return *shard;
+        }
+        if self.rdn_count <= 1 {
+            return 0;
+        }
+        let mut z = u64::from(sub).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.rdn_count as u64) as u16
     }
 }
 
@@ -377,6 +408,32 @@ mod tests {
         let m = ServiceCostModel::generic_requests();
         assert_eq!(m.cpu_us(2_000), 10_000.0);
         assert!(matches!(m.disk, DiskPolicy::PerRequest { us } if us == 10_000.0));
+    }
+
+    #[test]
+    fn shard_map_is_stable_and_overridable() {
+        let mut p = ClusterParams {
+            rdn_count: 4,
+            ..Default::default()
+        };
+        // Deterministic: same input, same shard; all shards in range.
+        for sub in 0..64u32 {
+            let s = p.shard_of(sub);
+            assert_eq!(s, p.shard_of(sub));
+            assert!((s as usize) < p.rdn_count);
+        }
+        // The hash actually spreads subscribers across shards.
+        let mut seen = [false; 4];
+        for sub in 0..64u32 {
+            seen[p.shard_of(sub) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 subs cover all 4 shards");
+        // Overrides beat the hash.
+        p.shard_overrides.push((5, 3));
+        assert_eq!(p.shard_of(5), 3);
+        // One RDN: everything is shard 0.
+        let single = ClusterParams::default();
+        assert_eq!(single.shard_of(123), 0);
     }
 
     #[test]

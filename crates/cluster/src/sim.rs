@@ -66,12 +66,44 @@
 //! up-path. While live capacity is short of the reservation sum, the
 //! scheduler scales effective reservations proportionally (graceful
 //! degradation).
+//!
+//! # Multi-RDN sharded front end
+//!
+//! With `params.rdn_count > 1` the front end is a set of peer RDNs, each
+//! owning the disjoint subscriber shard [`ClusterParams::shard_of`] maps
+//! to it. Each front runs its own request scheduler over `1/rdn_count`
+//! of every RPN's capacity, its own connection table, interrupt/CPU
+//! metrics and report watchdog; RPNs address one usage report per
+//! accounting tick to every front (per-owner usage lines, per-front
+//! outstanding backlog) so the front ends never share mutable state.
+//!
+//! Accounting converges through a conflict-free merge: every front keeps
+//! an [`AcctTable`] of per-`(origin RDN, subscriber)` monotone usage
+//! rows and gossips its full table to its peers once per accounting
+//! cycle ([`TraceEvent::ReportGossip`] / [`TraceEvent::AcctMerge`]).
+//! Rows merge by epoch-then-componentwise-max, so report loss,
+//! duplication and reordering — including healed inter-RDN partitions
+//! ([`FaultPlan::rdn_partition`]) — cannot diverge the tables.
+//!
+//! RDN fail-stop crashes ([`FaultPlan::rdn_crash_at`]) trigger shard
+//! failover at the scheduling tick: once a dead front has been silent
+//! for the watchdog grace, the lowest-numbered live peer adopts its
+//! shard — full reservations are unmasked at the adopter, whose
+//! graceful-degradation pass proportionally rescales them against its
+//! capacity share ([`TraceEvent::ShardTakeover`]). A recovered home
+//! front reclaims its shard at the next tick: queued requests drain to
+//! the new owner, so `offered == served + dropped + failed` stays
+//! structurally exact through takeover. Ownership is decided solely by
+//! the scripted crash schedule — partitions only delay gossip, so there
+//! is no split-brain. With `rdn_count == 1` all of this machinery is
+//! inert and the run is byte-identical to the single-RDN simulator.
 
 use std::net::Ipv4Addr;
 
 use gage_collections::DetMap;
 use gage_core::accounting::{SubscriberUsage, UsageReport};
 use gage_core::conn_table::{ConnTable, Route};
+use gage_core::merge::{AcctDelta, AcctRow, AcctTable};
 use gage_core::node::{NodeScheduler, RpnId};
 use gage_core::resource::{Grps, ResourceVector};
 use gage_core::scheduler::RequestScheduler;
@@ -115,6 +147,11 @@ pub struct DispatchMeta {
     size: u64,
     /// The client↔cluster connection the dispatch serves.
     conn: FourTuple,
+    /// The front end that booked the dispatch, and its boot epoch at
+    /// dispatch time — a bounced dispatch can only be refunded to the
+    /// same life of the same front.
+    rdn: u16,
+    rdn_epoch: u32,
 }
 
 /// A request sitting in an RDN subscriber queue.
@@ -183,14 +220,31 @@ pub enum Ev {
     SchedTick,
     /// An RPN's accounting-cycle tick (valid only in its boot `epoch`).
     AcctTick { rpn: u16, epoch: u32 },
-    /// An accounting report reaches the RDN. Boxed for the same reason as
-    /// [`Ev::RpnArrive`]: reports are one event per accounting cycle, but
-    /// their inline size would tax every event the wheel moves.
-    Report { report: Box<UsageReport> },
+    /// An accounting report reaches front end `to_rdn`. Boxed for the
+    /// same reason as [`Ev::RpnArrive`]: reports are one event per
+    /// accounting cycle per front, but their inline size would tax every
+    /// event the wheel moves.
+    Report {
+        to_rdn: u16,
+        report: Box<UsageReport>,
+    },
     /// Fail-stop crash of an RPN (fault injection).
     CrashRpn { rpn: u16 },
     /// Reboot of a crashed RPN (fault injection).
     RecoverRpn { rpn: u16 },
+    /// Fail-stop crash of front end `rdn` (fault injection).
+    CrashRdn { rdn: u16 },
+    /// Reboot of a crashed front end (fault injection).
+    RecoverRdn { rdn: u16 },
+    /// Front end `rdn`'s accounting-gossip timer (valid only in its boot
+    /// `epoch`; never scheduled with a single RDN).
+    GossipTick { rdn: u16, epoch: u32 },
+    /// A gossiped accounting-table snapshot reaches front end `to`.
+    GossipArrive {
+        to: u16,
+        from: u16,
+        rows: Box<Vec<AcctRow>>,
+    },
 }
 
 /// An in-service request on an RPN.
@@ -210,6 +264,10 @@ struct ActiveReq {
     pid: Pid,
     /// True if `pid` is a one-shot CGI child to reap on completion.
     reap_pid: bool,
+    /// The front end (and its boot epoch) that dispatched the request;
+    /// the completion only bridges ACKs through that same life of it.
+    rdn: u16,
+    rdn_epoch: u32,
     /// Per-stage finish times, filled in when the owning lane flushes
     /// (until then the request is inbox-resident and all three read as
     /// [`SimTime::MAX`], i.e. "still in the CPU stage").
@@ -269,9 +327,10 @@ struct Rpn {
     inbox: Vec<LaneJob>,
     /// Completions produced by the last flush, merged at the barrier.
     outbox: Vec<LaneDone>,
-    /// Running sum of predicted vectors of in-service requests — reported
-    /// each accounting tick without walking `active`.
-    outstanding: ResourceVector,
+    /// Running sums of predicted vectors of in-service requests, one per
+    /// dispatching front end — each accounting tick reports the slice a
+    /// front booked itself, without walking `active`.
+    outstanding_by_rdn: Vec<ResourceVector>,
     isn_counter: u32,
     cycle: Vec<CycleAccum>,
     total_cycle_usage: ResourceVector,
@@ -377,6 +436,27 @@ struct ClientSide {
     issued: u64,
 }
 
+/// One front-end RDN: the per-peer slice of dispatch state. Every front
+/// owns a full request scheduler (non-owned subscribers' reservations
+/// masked to zero) over its share of RPN capacity, its own connection
+/// table, CPU/interrupt metrics, report watchdog and accounting table —
+/// fronts never share mutable state, they exchange only messages.
+#[derive(Debug)]
+struct RdnFront {
+    scheduler: RequestScheduler<PendingRequest>,
+    conn_table: ConnTable,
+    metrics: RdnMetrics,
+    /// When each RPN's last report addressed here arrived (watchdog
+    /// input).
+    last_report: Vec<SimTime>,
+    /// Conflict-free per-(origin RDN, subscriber) usage rows, converged
+    /// by gossip.
+    acct: AcctTable,
+    /// Boot generation: bumped on every crash so reports, gossip ticks
+    /// and dispatch refunds addressed to a previous life are stale.
+    epoch: u32,
+}
+
 /// The simulation world.
 #[derive(Debug)]
 pub struct World {
@@ -384,8 +464,8 @@ pub struct World {
     registry: SubscriberRegistry,
     traces: Vec<Trace>,
     cluster_ep: Endpoint,
-    scheduler: RequestScheduler<PendingRequest>,
-    conn_table: ConnTable,
+    /// The front-end RDNs, `params.rdn_count` of them.
+    fronts: Vec<RdnFront>,
     rpns: Vec<Rpn>,
     clients: Vec<ClientSide>,
     /// What each outstanding connection is requesting.
@@ -397,8 +477,6 @@ pub struct World {
     next_req: u64,
     /// Per-subscriber measurement series.
     pub metrics: Vec<SubscriberMetrics>,
-    /// RDN measurement state.
-    pub rdn_metrics: RdnMetrics,
     /// Requests dropped because the Host was unknown.
     pub unknown_host_drops: u64,
     /// Lifetime dispatches funded by the reserved pass.
@@ -408,8 +486,19 @@ pub struct World {
     /// CPU busy time of each secondary RDN (handshake offload).
     pub secondary_busy: Vec<gage_des::stats::BusyTracker>,
     secondary_rr: usize,
-    /// When each RPN's last report arrived (watchdog input).
-    last_report: Vec<SimTime>,
+    /// Home shard of each subscriber, from [`ClusterParams::shard_of`].
+    sub_shard: Vec<u16>,
+    /// Current owner of each shard (index = shard = home RDN); mutated
+    /// only by failover/failback at the scheduling tick.
+    shard_owner: Vec<u16>,
+    /// Fail-stopped front ends.
+    dead_rdns: Vec<bool>,
+    /// When each currently-dead front end crashed (failover grace input).
+    rdn_died_at: Vec<SimTime>,
+    /// Per-RPN capacity share a single front schedules against
+    /// (`1/rdn_count` of the node), kept for scheduler rebuilds on RDN
+    /// crash.
+    front_capacity: ResourceVector,
     /// Fail-stopped RPNs.
     dead_rpns: Vec<bool>,
     /// Reports dropped by the injected loss process.
@@ -447,16 +536,38 @@ impl World {
         )
     }
 
-    /// Charges RDN CPU for handling `packets` packets' interrupts plus
-    /// `op_us` of protocol work at `now` — one batched record regardless
-    /// of the packet count.
-    fn charge_rdn(&mut self, now: SimTime, packets: u64, op_us: f64) {
-        let rate = self.rdn_metrics.recent_packet_rate(now);
+    /// The front end currently responsible for `sub`: its home shard's
+    /// owner (the home RDN itself except during failover).
+    fn owner_rdn(&self, sub: u32) -> u16 {
+        self.shard_owner[self.sub_shard[sub as usize] as usize]
+    }
+
+    /// Builds a fresh front-end scheduler: full node set at the per-front
+    /// capacity share, every reservation masked to zero. Shard ownership
+    /// (initial assignment, recovery, takeover) unmasks the owned ones.
+    fn make_front_scheduler(&self) -> RequestScheduler<PendingRequest> {
+        let mut nodes = NodeScheduler::new(self.params.scheduler.node_lookahead_secs);
+        for _ in 0..self.params.rpn_count {
+            nodes.add_rpn(self.front_capacity);
+        }
+        let mut scheduler = RequestScheduler::new(&self.registry, self.params.scheduler, nodes);
+        for i in 0..self.registry.len() {
+            scheduler.set_reservation(SubscriberId(i as u32), Grps(0.0));
+        }
+        scheduler.set_tracer(self.tracer.clone());
+        scheduler
+    }
+
+    /// Charges front end `rdn`'s CPU for handling `packets` packets'
+    /// interrupts plus `op_us` of protocol work at `now` — one batched
+    /// record regardless of the packet count.
+    fn charge_rdn(&mut self, rdn: usize, now: SimTime, packets: u64, op_us: f64) {
+        let m = &mut self.fronts[rdn].metrics;
+        let rate = m.recent_packet_rate(now);
         let int_us = self.params.interrupts.cost_us(rate) * packets as f64;
-        self.rdn_metrics.packets.record(now, packets as f64);
-        self.rdn_metrics.packet_count += packets;
-        self.rdn_metrics
-            .busy
+        m.packets.record(now, packets as f64);
+        m.packet_count += packets;
+        m.busy
             .add(now, SimDuration::from_secs_f64((op_us + int_us) / 1e6));
     }
 
@@ -578,10 +689,11 @@ impl World {
 
     // ---- RDN ----
 
-    /// Refuses a client request: charges the RDN for the reset packet and
-    /// RSTs the connection so the client resolves it as dropped.
-    fn refuse(&mut self, ctx: &mut Context<'_, Ev>, sub: u32, conn: FourTuple) {
-        self.charge_rdn(ctx.now(), 1, 0.0);
+    /// Refuses a client request: charges front end `rdn` for the reset
+    /// packet and RSTs the connection so the client resolves it as
+    /// dropped.
+    fn refuse(&mut self, ctx: &mut Context<'_, Ev>, rdn: usize, sub: u32, conn: FourTuple) {
+        self.charge_rdn(rdn, ctx.now(), 1, 0.0);
         let hop = self.hop();
         ctx.schedule_in(hop, Ev::ClientRst { sub, conn });
     }
@@ -614,6 +726,14 @@ impl World {
         let Some(url) = self.client_url.get(&conn).copied() else {
             return; // resolved before the exchange finished
         };
+        // The subscriber's home-shard owner answers its cluster address.
+        // A dead front end answers nothing: the exchange vanishes on the
+        // wire and the client's timeout/retry resolves the request
+        // (failover re-homes the shard within the watchdog grace).
+        let rdn = self.owner_rdn(sub) as usize;
+        if self.dead_rdns[rdn] {
+            return;
+        }
         // Resolve the URL from the immutable trace before any `&mut self`
         // work below; only `path` is ever cloned, and only on the
         // successfully-classified path.
@@ -626,9 +746,9 @@ impl World {
         // front-end cluster the setup CPU work moves to a secondary RDN;
         // the primary still sees the packets.
         if self.secondary_busy.is_empty() {
-            self.charge_rdn(ctx.now(), 2, self.params.rdn_costs.conn_setup_us);
+            self.charge_rdn(rdn, ctx.now(), 2, self.params.rdn_costs.conn_setup_us);
         } else {
-            self.charge_rdn(ctx.now(), 2, 0.0);
+            self.charge_rdn(rdn, ctx.now(), 2, 0.0);
             let i = self.secondary_rr % self.secondary_busy.len();
             self.secondary_rr += 1;
             self.secondary_busy[i].add(
@@ -639,12 +759,12 @@ impl World {
         self.isn_counter = self.isn_counter.wrapping_add(88_651);
         let rdn_isn = SeqNum::new(self.isn_counter);
         // The handshake ACK and the URL packet itself, classified at 3 µs.
-        self.charge_rdn(ctx.now(), 2, self.params.rdn_costs.classification_us);
+        self.charge_rdn(rdn, ctx.now(), 2, self.params.rdn_costs.classification_us);
         let (Some(sub_id), Some(path)) = (classified, path) else {
             self.unknown_host_drops += 1;
             // Still terminate the connection: the issuing client resolves
             // the request as dropped.
-            self.refuse(ctx, sub, conn);
+            self.refuse(ctx, rdn, sub, conn);
             return;
         };
         let req = PendingRequest {
@@ -657,14 +777,14 @@ impl World {
         };
         match self.params.mode {
             GageMode::Enabled => {
-                if let Err(req) = self.scheduler.enqueue(sub_id, req) {
-                    self.refuse(ctx, sub_id.0, req.conn);
+                if let Err(req) = self.fronts[rdn].scheduler.enqueue(sub_id, req) {
+                    self.refuse(ctx, rdn, sub_id.0, req.conn);
                 }
             }
             GageMode::Bypass => {
                 let rpn = RpnId((self.rr_next % self.rpns.len()) as u16);
                 self.rr_next += 1;
-                self.dispatch_to_rpn(ctx, sub_id, rpn, req, ResourceVector::ZERO);
+                self.dispatch_to_rpn(ctx, rdn, sub_id, rpn, req, ResourceVector::ZERO);
             }
         }
     }
@@ -672,19 +792,20 @@ impl World {
     fn dispatch_to_rpn(
         &mut self,
         ctx: &mut Context<'_, Ev>,
+        rdn: usize,
         sub: SubscriberId,
         rpn: RpnId,
         req: PendingRequest,
         predicted: ResourceVector,
     ) {
-        self.conn_table.insert(
+        self.fronts[rdn].conn_table.insert(
             req.conn,
             Route {
                 rpn,
                 rpn_mac: self.rpns[rpn.0 as usize].mac,
             },
         );
-        self.charge_rdn(ctx.now(), 1, self.params.rdn_costs.forwarding_us);
+        self.charge_rdn(rdn, ctx.now(), 1, self.params.rdn_costs.forwarding_us);
         let wait_ms = ctx.now().saturating_since(req.enqueued_at).as_secs_f64() * 1e3;
         self.metrics[sub.0 as usize].queue_wait_ms.observe(wait_ms);
         let meta = DispatchMeta {
@@ -695,6 +816,8 @@ impl World {
             path: req.path,
             size: req.size,
             conn: req.conn,
+            rdn: rdn as u16,
+            rdn_epoch: self.fronts[rdn].epoch,
         };
         self.send_to_rpn(ctx, rpn.0, meta);
     }
@@ -768,43 +891,57 @@ impl World {
         for r in 0..self.rpns.len() {
             self.merge_outbox(ctx, r);
         }
+        // Shard failover/failback precedes dispatch, so every cycle
+        // dispatches against settled ownership.
+        if self.params.rdn_count > 1 {
+            self.rebalance_shards(ctx);
+        }
         // Watchdog: a node that has gone silent for `watchdog_grace_cycles`
         // accounting cycles is declared down, excluded from dispatch (its
         // in-flight work is written off) and its splice routes are purged.
+        // Each live front judges silence by its own report stream.
         let grace = self
             .params
             .accounting_cycle
             .mul_f64(self.params.watchdog_grace_cycles);
-        for r in 0..self.last_report.len() {
-            let rpn = RpnId(r as u16);
-            if self.scheduler.nodes().is_up(rpn)
-                && ctx.now().saturating_since(self.last_report[r]) > grace
-            {
-                self.scheduler.nodes_mut().set_up(rpn, false);
-                self.tracer.emit(TraceEvent::NodeDown { rpn: r as u16 });
-                let purged = self.conn_table.purge_rpn(rpn);
-                if purged > 0 {
-                    self.tracer.emit(TraceEvent::RoutesPurged {
-                        rpn: r as u16,
-                        count: purged as u32,
-                    });
+        let cycle = self.params.scheduler.scheduling_cycle_secs;
+        for f in 0..self.fronts.len() {
+            if self.dead_rdns[f] {
+                continue;
+            }
+            for r in 0..self.rpns.len() {
+                let rpn = RpnId(r as u16);
+                if self.fronts[f].scheduler.nodes().is_up(rpn)
+                    && ctx.now().saturating_since(self.fronts[f].last_report[r]) > grace
+                {
+                    self.fronts[f].scheduler.nodes_mut().set_up(rpn, false);
+                    self.tracer.emit(TraceEvent::NodeDown { rpn: r as u16 });
+                    let purged = self.fronts[f].conn_table.purge_rpn(rpn);
+                    if purged > 0 {
+                        self.tracer.emit(TraceEvent::RoutesPurged {
+                            rpn: r as u16,
+                            count: purged as u32,
+                        });
+                    }
                 }
             }
-        }
-        let cycle = self.params.scheduler.scheduling_cycle_secs;
-        // Move the scratch buffer out while dispatching (dispatch_to_rpn
-        // needs `&mut self`), then park it back, allocation intact.
-        let mut dispatches = std::mem::take(&mut self.dispatch_buf);
-        self.scheduler.run_cycle_into(cycle, &mut dispatches);
-        for d in dispatches.drain(..) {
-            if d.funded_by_spare {
-                self.spare_dispatches += 1;
-            } else {
-                self.reserved_dispatches += 1;
+            // Move the scratch buffer out while dispatching
+            // (dispatch_to_rpn needs `&mut self`), then park it back,
+            // allocation intact — one buffer serves every front in turn.
+            let mut dispatches = std::mem::take(&mut self.dispatch_buf);
+            self.fronts[f]
+                .scheduler
+                .run_cycle_into(cycle, &mut dispatches);
+            for d in dispatches.drain(..) {
+                if d.funded_by_spare {
+                    self.spare_dispatches += 1;
+                } else {
+                    self.reserved_dispatches += 1;
+                }
+                self.dispatch_to_rpn(ctx, f, d.subscriber, d.rpn, d.request, d.predicted);
             }
-            self.dispatch_to_rpn(ctx, d.subscriber, d.rpn, d.request, d.predicted);
+            self.dispatch_buf = dispatches;
         }
-        self.dispatch_buf = dispatches;
         self.sched_ticks += 1;
         // Every 64th cycle, snapshot the DES queue's operational counters
         // into the trace so tracedump --stats can plot queue health.
@@ -820,16 +957,95 @@ impl World {
         ctx.schedule_in(SimDuration::from_secs_f64(cycle), Ev::SchedTick);
     }
 
-    fn on_report(&mut self, ctx: &mut Context<'_, Ev>, report: UsageReport) {
+    /// Decides who should own each shard and executes the moves. The
+    /// policy is deliberately simple and deterministic: a live home RDN
+    /// always owns its shard; a shard whose owner has been dead longer
+    /// than the watchdog grace is adopted by the lowest-numbered live
+    /// peer. Partitions never influence ownership — only the scripted
+    /// crash schedule does — so peers cannot disagree (no split-brain).
+    fn rebalance_shards(&mut self, ctx: &mut Context<'_, Ev>) {
+        let grace = self
+            .params
+            .accounting_cycle
+            .mul_f64(self.params.watchdog_grace_cycles);
+        for shard in 0..self.shard_owner.len() {
+            let home = shard as u16;
+            let owner = self.shard_owner[shard];
+            let desired = if !self.dead_rdns[home as usize] {
+                home
+            } else if self.dead_rdns[owner as usize]
+                && ctx.now().saturating_since(self.rdn_died_at[owner as usize]) > grace
+            {
+                (0..self.fronts.len() as u16)
+                    .find(|&r| !self.dead_rdns[r as usize])
+                    .unwrap_or(owner)
+            } else {
+                owner
+            };
+            if desired != owner {
+                self.move_shard(ctx, shard as u16, owner, desired);
+            }
+        }
+    }
+
+    /// Moves shard `shard` from front `from` to front `to`: masks the
+    /// shard's reservations at the old owner and drains its queues across
+    /// (refusing what no longer fits), then unmasks full reservations at
+    /// the adopter — whose graceful-degradation pass rescales them
+    /// proportionally if they oversubscribe its capacity share.
+    fn move_shard(&mut self, ctx: &mut Context<'_, Ev>, shard: u16, from: u16, to: u16) {
+        let mut subs = 0u32;
+        for i in 0..self.sub_shard.len() {
+            if self.sub_shard[i] != shard {
+                continue;
+            }
+            subs += 1;
+            let sub = SubscriberId(i as u32);
+            if !self.dead_rdns[from as usize] {
+                let f = &mut self.fronts[from as usize];
+                f.scheduler.set_reservation(sub, Grps(0.0));
+                let drained = f.scheduler.drain_queue(sub);
+                for req in drained {
+                    let conn = req.conn;
+                    if self.fronts[to as usize]
+                        .scheduler
+                        .enqueue(sub, req)
+                        .is_err()
+                    {
+                        self.refuse(ctx, to as usize, sub.0, conn);
+                    }
+                }
+            }
+            let full = self.registry.get(sub).expect("registered").reservation;
+            self.fronts[to as usize]
+                .scheduler
+                .set_reservation(sub, full);
+        }
+        self.shard_owner[shard as usize] = to;
+        self.tracer.emit(TraceEvent::ShardTakeover {
+            shard,
+            from,
+            to,
+            subs,
+        });
+    }
+
+    fn on_report(&mut self, ctx: &mut Context<'_, Ev>, to_rdn: u16, report: UsageReport) {
+        let f = to_rdn as usize;
+        if self.dead_rdns[f] {
+            return; // addressed to a front that died while it was in flight
+        }
         let r = report.rpn.0 as usize;
-        if r < self.last_report.len() {
-            self.last_report[r] = ctx.now();
+        let epoch = self.fronts[f].epoch;
+        let front = &mut self.fronts[f];
+        if r < front.last_report.len() {
+            front.last_report[r] = ctx.now();
             // A report from a node the watchdog had written off means it is
             // back: either a rebooted node re-announcing itself (its first
             // post-recovery report) or a live node whose reports were merely
             // lost. Either way the node rejoins the dispatch set.
-            if !self.scheduler.nodes().is_up(report.rpn) && !self.dead_rpns[r] {
-                self.scheduler.nodes_mut().set_up(report.rpn, true);
+            if !front.scheduler.nodes().is_up(report.rpn) && !self.dead_rpns[r] {
+                front.scheduler.nodes_mut().set_up(report.rpn, true);
                 self.tracer.emit(TraceEvent::NodeUp { rpn: report.rpn.0 });
             }
         }
@@ -844,7 +1060,23 @@ impl World {
                     .record(ctx.now(), f64::from(line.completed));
             }
         }
-        self.scheduler.on_report(&report);
+        let front = &mut self.fronts[f];
+        front.scheduler.on_report(&report);
+        // Fold the report into this front's own accounting rows (it is
+        // the single writer of origin `f`); gossip carries them to peers.
+        for line in &report.per_subscriber {
+            front.acct.accumulate(
+                to_rdn,
+                line.subscriber.0,
+                epoch,
+                AcctDelta {
+                    as_of_ns: ctx.now().as_nanos(),
+                    usage: line.actual,
+                    settled_predicted: line.settled_predicted,
+                    completed: line.completed as u64,
+                },
+            );
+        }
         if self.tracer.is_enabled() {
             let completed: u32 = report.per_subscriber.iter().map(|l| l.completed).sum();
             self.tracer.emit(TraceEvent::AcctReport {
@@ -856,9 +1088,67 @@ impl World {
             // predicted work relative to its dispatch window.
             self.tracer.emit(TraceEvent::NodeLoad {
                 rpn: report.rpn.0,
-                load: self.scheduler.nodes().load_fraction(report.rpn),
+                load: self.fronts[f].scheduler.nodes().load_fraction(report.rpn),
             });
         }
+    }
+
+    /// A front's gossip timer: snapshot its accounting rows and send them
+    /// to every peer, subject to any active inter-RDN partition window.
+    fn on_gossip_tick(&mut self, ctx: &mut Context<'_, Ev>, rdn: u16, epoch: u32) {
+        let f = rdn as usize;
+        if self.dead_rdns[f] || self.fronts[f].epoch != epoch {
+            return; // a previous life's chain; recovery armed a fresh one
+        }
+        let rows = self.fronts[f].acct.rows();
+        let hop = self.hop();
+        for peer in 0..self.fronts.len() as u16 {
+            if peer == rdn {
+                continue;
+            }
+            let mut delay = hop;
+            let mut lost = false;
+            if let Some((drop_prob, extra)) = self.faults.rdn_link_fault_at(ctx.now(), rdn, peer) {
+                if self.faults.chance(drop_prob) {
+                    lost = true; // partitioned: the snapshot vanishes
+                } else {
+                    delay += extra;
+                }
+            }
+            self.tracer.emit(TraceEvent::ReportGossip {
+                from: rdn,
+                to: peer,
+                rows: rows.len() as u32,
+            });
+            if !lost {
+                ctx.schedule_in(
+                    delay,
+                    Ev::GossipArrive {
+                        to: peer,
+                        from: rdn,
+                        rows: Box::new(rows.clone()),
+                    },
+                );
+            }
+        }
+        ctx.schedule_in(self.params.accounting_cycle, Ev::GossipTick { rdn, epoch });
+    }
+
+    /// A peer's gossiped snapshot arrives: merge it. The merge is
+    /// conflict-free (epoch-then-componentwise-max), so loss, duplication
+    /// and reordering — and transitive relay once a partition heals —
+    /// all converge to the same table.
+    fn on_gossip_arrive(&mut self, to: u16, from: u16, rows: &[AcctRow]) {
+        let f = to as usize;
+        if self.dead_rdns[f] {
+            return;
+        }
+        let changed = self.fronts[f].acct.merge_rows(rows);
+        self.tracer.emit(TraceEvent::AcctMerge {
+            rdn: to,
+            from,
+            changed: changed as u32,
+        });
     }
 
     // ---- RPN ----
@@ -905,7 +1195,7 @@ impl World {
         } else {
             (worker, false)
         };
-        rpn.outstanding += meta.predicted;
+        rpn.outstanding_by_rdn[meta.rdn as usize] += meta.predicted;
         rpn.active.insert(
             meta.conn,
             ActiveReq {
@@ -919,6 +1209,8 @@ impl World {
                 net_bytes: 0.0,
                 pid,
                 reap_pid,
+                rdn: meta.rdn,
+                rdn_epoch: meta.rdn_epoch,
                 cpu_fin: SimTime::MAX,
                 disk_fin: SimTime::MAX,
                 nic_fin: SimTime::MAX,
@@ -942,12 +1234,20 @@ impl World {
 
     /// Pulls back a dispatch that bounced off a dead node: removes its
     /// route, refunds its scheduler booking and puts it back at the head of
-    /// its queue (or refuses it if the queue has since filled).
+    /// its queue (or refuses it if the queue has since filled). The refund
+    /// targets the life of the front that booked it; if that front has
+    /// since crashed, the dispatch simply evaporates and the client's
+    /// timeout/retry resolves the request.
     fn requeue_undelivered(&mut self, ctx: &mut Context<'_, Ev>, rpn_idx: u16, meta: DispatchMeta) {
-        self.conn_table.remove(meta.conn);
+        let f = meta.rdn as usize;
+        if self.dead_rdns[f] || self.fronts[f].epoch != meta.rdn_epoch {
+            return;
+        }
+        self.fronts[f].conn_table.remove(meta.conn);
         match self.params.mode {
             GageMode::Enabled => {
-                self.scheduler
+                self.fronts[f]
+                    .scheduler
                     .void_dispatch(meta.sub, RpnId(rpn_idx), meta.predicted);
                 self.tracer.emit(TraceEvent::DispatchRequeued {
                     sub: meta.sub.0,
@@ -962,13 +1262,13 @@ impl World {
                     size: meta.size,
                     enqueued_at: ctx.now(),
                 };
-                if let Err(req) = self.scheduler.requeue(meta.sub, req) {
-                    self.refuse(ctx, meta.sub.0, req.conn);
+                if let Err(req) = self.fronts[f].scheduler.requeue(meta.sub, req) {
+                    self.refuse(ctx, f, meta.sub.0, req.conn);
                 }
             }
             GageMode::Bypass => {
                 // No scheduler queues to return to: refuse outright.
-                self.refuse(ctx, meta.sub.0, meta.conn);
+                self.refuse(ctx, f, meta.sub.0, meta.conn);
             }
         }
     }
@@ -1017,18 +1317,24 @@ impl World {
             acc.completed += 1;
             rpn.total_cycle_usage += actual;
             rpn.completed_requests += 1;
-            rpn.outstanding -= req.predicted;
+            rpn.outstanding_by_rdn[req.rdn as usize] -= req.predicted;
         }
 
-        // The client's ACK/FIN stream transits the RDN bridge.
-        let (_data_pkts, ack_pkts) = response_packet_counts(&self.params.network, req.size);
-        self.charge_rdn(
-            ctx.now(),
-            ack_pkts + 1,
-            self.params.rdn_costs.forwarding_us * (ack_pkts + 1) as f64,
-        );
-
-        self.conn_table.remove(conn);
+        // The client's ACK/FIN stream transits the dispatching front's
+        // bridge. If that life of the front is gone, there is no bridge
+        // (and no route) left to charge — the response itself still flows
+        // directly RPN → client, so the request serves either way.
+        let f = req.rdn as usize;
+        if !self.dead_rdns[f] && self.fronts[f].epoch == req.rdn_epoch {
+            let (_data_pkts, ack_pkts) = response_packet_counts(&self.params.network, req.size);
+            self.charge_rdn(
+                f,
+                ctx.now(),
+                ack_pkts + 1,
+                self.params.rdn_costs.forwarding_us * (ack_pkts + 1) as f64,
+            );
+            self.fronts[f].conn_table.remove(conn);
+        }
         let hop = self.hop();
         ctx.schedule_in(hop, Ev::ResponseArrive { sub: sub.0, conn });
     }
@@ -1037,17 +1343,25 @@ impl World {
         if self.stale_epoch(rpn_idx, epoch) {
             return; // crashed nodes stop reporting until recovery reboots them
         }
-        let report = {
+        // One report per front end, each carrying the usage lines of the
+        // subscribers that front currently owns plus the backlog it
+        // booked itself. A front with no owned activity still gets an
+        // empty report — the heartbeat its watchdog runs on.
+        let n_rdn = self.fronts.len();
+        let owner_of: Vec<usize> = (0..self.metrics.len())
+            .map(|i| self.owner_rdn(i as u32) as usize)
+            .collect();
+        let reports = {
             let rpn = &mut self.rpns[rpn_idx as usize];
             let rollup = rpn.processes.rollup();
-            let mut per_subscriber = Vec::new();
+            let mut lines: Vec<Vec<SubscriberUsage>> = (0..n_rdn).map(|_| Vec::new()).collect();
             for (i, acc) in rpn.cycle.iter_mut().enumerate() {
                 let sub = SubscriberId(i as u32);
                 let actual = rollup.get(&sub).copied().unwrap_or(ResourceVector::ZERO);
                 if acc.completed == 0 && actual == ResourceVector::ZERO {
                     continue;
                 }
-                per_subscriber.push(SubscriberUsage {
+                lines[owner_of[i]].push(SubscriberUsage {
                     subscriber: sub,
                     actual,
                     settled_predicted: acc.settled_predicted,
@@ -1057,36 +1371,47 @@ impl World {
             }
             let total = rpn.total_cycle_usage;
             rpn.total_cycle_usage = ResourceVector::ZERO;
-            // The node reports its own remaining predicted backlog so the
-            // RDN's outstanding estimate re-anchors to ground truth. The
-            // running sum replaces the old per-tick walk over every active
-            // request.
-            UsageReport {
-                rpn: RpnId(rpn_idx),
-                total,
-                outstanding_predicted: rpn.outstanding,
-                per_subscriber,
-            }
+            // Each node reports its remaining predicted backlog so every
+            // front's outstanding estimate re-anchors to ground truth —
+            // sliced per front, since each front booked only its own
+            // dispatches. The whole-node `total` goes to every front (it
+            // is observational, not a booking).
+            lines
+                .into_iter()
+                .enumerate()
+                .map(|(dest, per_subscriber)| UsageReport {
+                    rpn: RpnId(rpn_idx),
+                    total,
+                    outstanding_predicted: rpn.outstanding_by_rdn[dest],
+                    per_subscriber,
+                })
+                .collect::<Vec<_>>()
         };
         let hop = self.hop();
-        // A fault-plan loss window overrides the whole-run knob, and draws
-        // from the plan's own RNG stream so the traffic stream is untouched.
-        let lost = match self.faults.report_loss_at(ctx.now()) {
-            Some(p) => self.faults.chance(p),
-            None => {
-                let p = self.params.report_loss_prob;
-                p > 0.0 && ctx.rng().chance(p)
+        for (dest, report) in reports.into_iter().enumerate() {
+            // A fault-plan loss window overrides the whole-run knob, and
+            // draws from the plan's own RNG stream so the traffic stream
+            // is untouched. One draw per destination, in fixed order.
+            let lost = match self.faults.report_loss_at(ctx.now()) {
+                Some(p) => self.faults.chance(p),
+                None => {
+                    let p = self.params.report_loss_prob;
+                    p > 0.0 && ctx.rng().chance(p)
+                }
+            };
+            if lost {
+                self.lost_reports += 1;
+            } else if !self.dead_rdns[dest] {
+                // A report to a dead front vanishes on the wire; it is
+                // not an injected loss, so it is not counted as one.
+                ctx.schedule_in(
+                    hop,
+                    Ev::Report {
+                        to_rdn: dest as u16,
+                        report: Box::new(report),
+                    },
+                );
             }
-        };
-        if lost {
-            self.lost_reports += 1;
-        } else {
-            ctx.schedule_in(
-                hop,
-                Ev::Report {
-                    report: Box::new(report),
-                },
-            );
         }
         // Each node's periodic timer runs on its own crystal: a fixed skew
         // of a few hundred ppm. Reports therefore stay clustered across the
@@ -1125,7 +1450,7 @@ impl World {
         rpn.active.clear();
         rpn.inbox.clear();
         rpn.outbox.clear();
-        rpn.outstanding = ResourceVector::ZERO;
+        rpn.outstanding_by_rdn.fill(ResourceVector::ZERO);
         rpn.cpu = BusyLine::new();
         rpn.disk = BusyLine::new();
         rpn.nic = BusyLine::new();
@@ -1167,26 +1492,106 @@ impl World {
         }
     }
 
+    /// Fail-stop crash of front end `rdn`: its queued requests, dispatch
+    /// bookings, connection routes and accounting rows are lost, and its
+    /// boot epoch advances so reports, gossip and refunds addressed to
+    /// the old life are recognizably stale. In-flight requests it
+    /// dispatched still complete (responses flow directly RPN → client);
+    /// queued ones resolve through client timeout and retry against the
+    /// shard's next owner. Idempotent.
+    fn on_rdn_crash(&mut self, now: SimTime, rdn: u16) {
+        let f = rdn as usize;
+        if self.dead_rdns[f] {
+            return; // already down
+        }
+        self.dead_rdns[f] = true;
+        self.rdn_died_at[f] = now;
+        let scheduler = self.make_front_scheduler();
+        let front = &mut self.fronts[f];
+        front.epoch = front.epoch.wrapping_add(1);
+        front.scheduler = scheduler;
+        front.conn_table = ConnTable::new();
+        front.acct = AcctTable::new();
+        self.tracer.emit(TraceEvent::RdnCrash { rdn });
+    }
+
+    /// Reboot of a crashed front end: it comes back with empty queues, a
+    /// cold accounting table (gossip refills peer rows; its own restart
+    /// at a higher epoch supersedes stale copies of it elsewhere) and a
+    /// re-armed watchdog and gossip chain. Shards it still owns get
+    /// their reservations back immediately; adopted ones return at the
+    /// next scheduling tick. Idempotent.
+    fn on_rdn_recover(&mut self, ctx: &mut Context<'_, Ev>, rdn: u16) {
+        let f = rdn as usize;
+        if !self.dead_rdns[f] {
+            return; // already up
+        }
+        self.dead_rdns[f] = false;
+        self.tracer.emit(TraceEvent::RdnRecover { rdn });
+        let now = ctx.now();
+        self.fronts[f].last_report = vec![now; self.rpns.len()];
+        // Unmask reservations for shards whose ownership never left this
+        // front (no peer adopted them inside the grace window) — the
+        // rebalance pass only acts on ownership *changes*.
+        for i in 0..self.sub_shard.len() {
+            if self.shard_owner[self.sub_shard[i] as usize] == rdn {
+                let sub = SubscriberId(i as u32);
+                let full = self.registry.get(sub).expect("registered").reservation;
+                self.fronts[f].scheduler.set_reservation(sub, full);
+            }
+        }
+        if self.params.mode == GageMode::Enabled && self.fronts.len() > 1 {
+            let epoch = self.fronts[f].epoch;
+            ctx.schedule_in(self.params.accounting_cycle, Ev::GossipTick { rdn, epoch });
+        }
+    }
+
     /// Debug view: per-RPN load fractions and per-subscriber (backlog,
-    /// balance, predicted) from the embedded scheduler.
+    /// balance, predicted) from front end 0's embedded scheduler (the
+    /// whole cluster with a single RDN).
     pub fn scheduler_snapshot(&self) -> (Vec<f64>, Vec<(usize, ResourceVector, ResourceVector)>) {
-        let loads = self
-            .scheduler
+        let s = &self.fronts[0].scheduler;
+        let loads = s
             .nodes()
             .rpn_ids()
-            .map(|id| self.scheduler.nodes().load_fraction(id))
+            .map(|id| s.nodes().load_fraction(id))
             .collect();
         let subs = (0..self.registry.len())
             .map(|i| {
                 let sub = SubscriberId(i as u32);
-                (
-                    self.scheduler.backlog(sub),
-                    self.scheduler.balance(sub),
-                    self.scheduler.predicted_usage(sub),
-                )
+                (s.backlog(sub), s.balance(sub), s.predicted_usage(sub))
             })
             .collect();
         (loads, subs)
+    }
+
+    /// Front end `rdn`'s measurement state (packet counts, CPU busy).
+    pub fn rdn_metrics(&self, rdn: usize) -> &RdnMetrics {
+        &self.fronts[rdn].metrics
+    }
+
+    /// Whether front end `rdn` is currently live.
+    pub fn rdn_alive(&self, rdn: usize) -> bool {
+        !self.dead_rdns[rdn]
+    }
+
+    /// Current owner of each shard (index = shard = home RDN).
+    pub fn shard_owners(&self) -> &[u16] {
+        &self.shard_owner
+    }
+
+    /// Front end `rdn`'s converged accounting rows, sorted by
+    /// (origin, subscriber) — the convergence probe for chaos tests.
+    pub fn acct_rows(&self, rdn: usize) -> Vec<AcctRow> {
+        self.fronts[rdn].acct.rows()
+    }
+
+    /// Every front end's graceful-degradation multiplier.
+    pub fn degrade_scales(&self) -> Vec<f64> {
+        self.fronts
+            .iter()
+            .map(|f| f.scheduler.degrade_scale())
+            .collect()
     }
 
     /// Debug view: per-RPN (active requests, cpu stage, disk stage, nic
@@ -1213,11 +1618,15 @@ impl World {
             .collect()
     }
 
-    /// The scheduler's current graceful-degradation multiplier (1.0 =
-    /// full capacity, <1.0 = reservations scaled down, 0.0 = no live
-    /// nodes).
+    /// The cluster's graceful-degradation multiplier (1.0 = full
+    /// capacity, <1.0 = reservations scaled down, 0.0 = no live nodes):
+    /// the minimum over the front ends. A dead front's fresh scheduler
+    /// reads 1.0 (zero demand), so it never drags the minimum down.
     pub fn degrade_scale(&self) -> f64 {
-        self.scheduler.degrade_scale()
+        self.fronts
+            .iter()
+            .map(|f| f.scheduler.degrade_scale())
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -1241,12 +1650,18 @@ impl Model for World {
             }
             Ev::SchedTick => self.on_sched_tick(ctx),
             Ev::AcctTick { rpn, epoch } => self.on_acct_tick(ctx, rpn, epoch),
-            Ev::Report { report } => self.on_report(ctx, *report),
+            Ev::Report { to_rdn, report } => self.on_report(ctx, to_rdn, *report),
             // Fail-stop: the node vanishes. The RDN only learns of it when
             // the report watchdog fires; until then dispatches bounce off
             // the dead node and are re-queued.
             Ev::CrashRpn { rpn } => self.on_crash(rpn),
             Ev::RecoverRpn { rpn } => self.on_recover(ctx, rpn),
+            // Fail-stop of a front end: peers only react through the
+            // failover grace; clients through timeout and retry.
+            Ev::CrashRdn { rdn } => self.on_rdn_crash(ctx.now(), rdn),
+            Ev::RecoverRdn { rdn } => self.on_rdn_recover(ctx, rdn),
+            Ev::GossipTick { rdn, epoch } => self.on_gossip_tick(ctx, rdn, epoch),
+            Ev::GossipArrive { to, from, rows } => self.on_gossip_arrive(to, from, &rows),
         }
     }
 }
@@ -1263,9 +1678,11 @@ impl ClusterSim {
     ///
     /// # Panics
     ///
-    /// Panics if `params.rpn_count` is zero or a site host is duplicated.
+    /// Panics if `params.rpn_count` or `params.rdn_count` is zero or a
+    /// site host is duplicated.
     pub fn new(mut params: ClusterParams, sites: Vec<SiteSpec>, seed: u64) -> Self {
         assert!(params.rpn_count > 0, "need at least one RPN");
+        assert!(params.rdn_count > 0, "need at least one RDN");
         // The in-flight window must cover the feedback delay (a
         // bandwidth-delay-product argument): with a window shorter than the
         // accounting cycle, dispatch is capped at window/cycle regardless
@@ -1280,15 +1697,42 @@ impl ClusterSim {
                 .register(s.host.clone(), s.reservation)
                 .expect("duplicate site host");
         }
-        let mut nodes = NodeScheduler::new(params.scheduler.node_lookahead_secs);
-        let rpn_capacity = ResourceVector::new(
-            1e6 * params.rpn_speed,
-            1e6,
-            params.network.rpn_egress_bytes_per_sec,
+        // Each front end schedules against its 1/rdn_count share of every
+        // node, so the peer set as a whole never oversubscribes an RPN.
+        // With a single RDN the share is exactly the whole node.
+        let share = 1.0 / params.rdn_count as f64;
+        let front_capacity = ResourceVector::new(
+            1e6 * params.rpn_speed * share,
+            1e6 * share,
+            params.network.rpn_egress_bytes_per_sec * share,
         );
+        let sub_shard: Vec<u16> = (0..sites.len())
+            .map(|i| params.shard_of(i as u32))
+            .collect();
+        let shard_owner: Vec<u16> = (0..params.rdn_count as u16).collect();
+        let mut fronts = Vec::new();
+        for f in 0..params.rdn_count {
+            let mut nodes = NodeScheduler::new(params.scheduler.node_lookahead_secs);
+            for _ in 0..params.rpn_count {
+                nodes.add_rpn(front_capacity);
+            }
+            let mut scheduler = RequestScheduler::new(&registry, params.scheduler, nodes);
+            for (i, &shard) in sub_shard.iter().enumerate() {
+                if shard as usize != f {
+                    scheduler.set_reservation(SubscriberId(i as u32), Grps(0.0));
+                }
+            }
+            fronts.push(RdnFront {
+                scheduler,
+                conn_table: ConnTable::new(),
+                metrics: RdnMetrics::default(),
+                last_report: vec![SimTime::ZERO; params.rpn_count],
+                acct: AcctTable::new(),
+                epoch: 0,
+            });
+        }
         let mut rpns = Vec::new();
         for i in 0..params.rpn_count {
-            nodes.add_rpn(rpn_capacity);
             let mut processes = ProcessTable::new();
             let workers = (0..sites.len())
                 .map(|s| processes.launch_entity_root(SubscriberId(s as u32)))
@@ -1309,7 +1753,7 @@ impl ClusterSim {
                 active: DetMap::new(),
                 inbox: Vec::new(),
                 outbox: Vec::new(),
-                outstanding: ResourceVector::ZERO,
+                outstanding_by_rdn: vec![ResourceVector::ZERO; params.rdn_count],
                 isn_counter: 7,
                 cycle: vec![CycleAccum::default(); sites.len()],
                 total_cycle_usage: ResourceVector::ZERO,
@@ -1325,12 +1769,10 @@ impl ClusterSim {
                 },
             });
         }
-        let scheduler = RequestScheduler::new(&registry, params.scheduler, nodes);
         let n_sites = sites.len();
         let world = World {
             cluster_ep: Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), Port::HTTP),
-            scheduler,
-            conn_table: ConnTable::new(),
+            fronts,
             rpns,
             clients: (0..n_sites)
                 .map(|_| ClientSide {
@@ -1342,7 +1784,6 @@ impl ClusterSim {
             isn_counter: 1,
             next_req: 0,
             metrics: (0..n_sites).map(|_| SubscriberMetrics::default()).collect(),
-            rdn_metrics: RdnMetrics::default(),
             unknown_host_drops: 0,
             reserved_dispatches: 0,
             spare_dispatches: 0,
@@ -1350,7 +1791,11 @@ impl ClusterSim {
                 .map(|_| gage_des::stats::BusyTracker::new(crate::metrics::METRIC_BIN))
                 .collect(),
             secondary_rr: 0,
-            last_report: vec![SimTime::ZERO; params.rpn_count],
+            sub_shard,
+            shard_owner,
+            dead_rdns: vec![false; params.rdn_count],
+            rdn_died_at: vec![SimTime::ZERO; params.rdn_count],
+            front_capacity,
             dead_rpns: vec![false; params.rpn_count],
             lost_reports: 0,
             faults: FaultState::inactive(),
@@ -1399,6 +1844,21 @@ impl ClusterSim {
                     },
                 );
             }
+            // Peer gossip runs once per accounting cycle, phase-staggered
+            // per front so snapshots interleave rather than collide. A
+            // single-RDN cluster schedules none of it.
+            let n_rdn = sim.model().fronts.len();
+            for f in 0..n_rdn {
+                if n_rdn > 1 {
+                    sim.schedule_at(
+                        SimTime::ZERO + acct + acct.mul_f64(0.53 + 0.11 * f as f64),
+                        Ev::GossipTick {
+                            rdn: f as u16,
+                            epoch: 0,
+                        },
+                    );
+                }
+            }
         }
         ClusterSim { sim }
     }
@@ -1420,10 +1880,13 @@ impl ClusterSim {
         let now = self.sim.now();
         let tracer = Tracer::enabled(capacity);
         let world = self.sim.model_mut();
-        world.scheduler.set_tracer(tracer.clone());
+        for front in &mut world.fronts {
+            front.scheduler.set_tracer(tracer.clone());
+        }
         world.tracer = tracer;
-        // One `Reservation` record per subscriber up front, so dumps are
-        // self-describing for the conformance auditor.
+        // One `Reservation` record per subscriber up front (with its home
+        // shard), so dumps are self-describing for the conformance
+        // auditor and its `--shard` filter.
         world.tracer.set_now(now);
         for i in 0..world.registry.len() {
             let sub = SubscriberId(i as u32);
@@ -1431,6 +1894,7 @@ impl ClusterSim {
             world.tracer.emit(TraceEvent::Reservation {
                 sub: i as u32,
                 grps,
+                shard: world.sub_shard[i],
             });
         }
     }
@@ -1447,25 +1911,37 @@ impl ClusterSim {
     pub fn registry(&self) -> Registry {
         let w = self.world();
         let mut reg = Registry::new();
-        w.conn_table.export_metrics(&mut reg);
+        // Connection-table internals come from front 0; the summable
+        // counters below aggregate across every front.
+        w.fronts[0].conn_table.export_metrics(&mut reg);
         let qs = self.sim.queue_stats();
         reg.set_counter("des.queue_depth", qs.depth);
         reg.set_counter("des.events_scheduled", qs.scheduled);
         reg.set_counter("des.events_cancelled", qs.cancelled);
         reg.set_counter("des.wheel_cascades", qs.cascades);
         reg.set_counter("des.wheel_compactions", qs.compactions);
-        reg.set_counter("rdn.packets", w.rdn_metrics.packet_count);
+        reg.set_counter(
+            "rdn.packets",
+            w.fronts.iter().map(|f| f.metrics.packet_count).sum(),
+        );
         reg.set_counter("rdn.unknown_host_drops", w.unknown_host_drops);
         reg.set_counter("sched.reserved_dispatches", w.reserved_dispatches);
         reg.set_counter("sched.spare_dispatches", w.spare_dispatches);
         reg.set_counter("reports.lost", w.lost_reports);
         for i in 0..w.registry.len() {
             let sub = SubscriberId(i as u32);
-            let c = w.scheduler.counters(sub);
-            reg.set_counter(&format!("sub{i}.accepted"), c.accepted);
-            reg.set_counter(&format!("sub{i}.dropped"), c.dropped);
-            reg.set_counter(&format!("sub{i}.dispatched"), c.dispatched);
-            reg.set_counter(&format!("sub{i}.completed"), c.completed);
+            let (mut accepted, mut dropped, mut dispatched, mut completed) = (0, 0, 0, 0);
+            for f in &w.fronts {
+                let c = f.scheduler.counters(sub);
+                accepted += c.accepted;
+                dropped += c.dropped;
+                dispatched += c.dispatched;
+                completed += c.completed;
+            }
+            reg.set_counter(&format!("sub{i}.accepted"), accepted);
+            reg.set_counter(&format!("sub{i}.dropped"), dropped);
+            reg.set_counter(&format!("sub{i}.dispatched"), dispatched);
+            reg.set_counter(&format!("sub{i}.completed"), completed);
             reg.set_counter(
                 &format!("sub{i}.failed"),
                 w.metrics[i].failed.total() as u64,
@@ -1481,25 +1957,33 @@ impl ClusterSim {
         }
         for (r, rpn) in w.rpns.iter().enumerate() {
             reg.set_counter(&format!("rpn{r}.completed"), rpn.completed_requests);
-            reg.observe(
-                "rpn.load_pct",
-                w.scheduler.nodes().load_fraction(RpnId(r as u16)) * 100.0,
-            );
+            // A node's load as the mean of the per-front fractions (each
+            // front sees its own bookings against its capacity share).
+            let load = w
+                .fronts
+                .iter()
+                .map(|f| f.scheduler.nodes().load_fraction(RpnId(r as u16)))
+                .sum::<f64>()
+                / w.fronts.len() as f64;
+            reg.observe("rpn.load_pct", load * 100.0);
         }
         reg
     }
 
-    /// Installs a [`FaultPlan`]: schedules its crash/recover events and arms
-    /// its report-loss and link-fault windows. Call before
+    /// Installs a [`FaultPlan`]: schedules its crash/recover events (RPN
+    /// and RDN, after last-scheduled-wins normalization — see
+    /// [`FaultPlan::normalized_events`]) and arms its report-loss,
+    /// link-fault and inter-RDN partition windows. Call before
     /// [`ClusterSim::run_until`]; one plan per run.
     ///
     /// # Panics
     ///
-    /// Panics if any event names an RPN out of range.
+    /// Panics if any event names an RPN or RDN out of range.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         let n = self.sim.model().rpns.len();
-        for ev in plan.events() {
-            match *ev {
+        let n_rdn = self.sim.model().fronts.len();
+        for ev in plan.normalized_events() {
+            match ev {
                 FaultEvent::Crash { at, rpn } => {
                     assert!((rpn as usize) < n, "rpn {rpn} out of range");
                     self.sim.schedule_at(at, Ev::CrashRpn { rpn });
@@ -1507,6 +1991,14 @@ impl ClusterSim {
                 FaultEvent::Recover { at, rpn } => {
                     assert!((rpn as usize) < n, "rpn {rpn} out of range");
                     self.sim.schedule_at(at, Ev::RecoverRpn { rpn });
+                }
+                FaultEvent::RdnCrash { at, rdn } => {
+                    assert!((rdn as usize) < n_rdn, "rdn {rdn} out of range");
+                    self.sim.schedule_at(at, Ev::CrashRdn { rdn });
+                }
+                FaultEvent::RdnRecover { at, rdn } => {
+                    assert!((rdn as usize) < n_rdn, "rdn {rdn} out of range");
+                    self.sim.schedule_at(at, Ev::RecoverRdn { rdn });
                 }
             }
         }
@@ -1608,28 +2100,35 @@ impl ClusterSim {
         }
         let elapsed = to.saturating_since(from);
         // Busy within the window: approximate with total busy scaled by
-        // per-bin utilization over the window.
+        // per-bin utilization over the window. With several fronts,
+        // report the busiest one — the front that limits scale-out.
         let bw = crate::metrics::METRIC_BIN;
         let lo = (from.as_nanos() / bw.as_nanos()) as usize;
         let hi = (to.as_nanos() / bw.as_nanos()) as usize;
-        let util_bins = w.rdn_metrics.busy.per_bin_utilization();
-        let rdn_utilization = if hi > lo {
-            (lo..hi)
-                .map(|i| util_bins.get(i).copied().unwrap_or(0.0))
-                .sum::<f64>()
-                / (hi - lo) as f64
-        } else {
-            0.0
-        };
+        let rdn_utilization = w
+            .fronts
+            .iter()
+            .map(|f| {
+                let util_bins = f.metrics.busy.per_bin_utilization();
+                if hi > lo {
+                    (lo..hi)
+                        .map(|i| util_bins.get(i).copied().unwrap_or(0.0))
+                        .sum::<f64>()
+                        / (hi - lo) as f64
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max);
         let _ = elapsed;
-        let (conn_lookups, _) = w.conn_table.stats();
+        let (conn_lookups, _) = w.fronts[0].conn_table.stats();
         ClusterReport {
             subscribers: rows,
             total_served,
             rdn_utilization,
             conn_lookups,
-            conn_hit_rate: w.conn_table.hit_rate(),
-            conn_evictions: w.conn_table.evictions(),
+            conn_hit_rate: w.fronts[0].conn_table.hit_rate(),
+            conn_evictions: w.fronts[0].conn_table.evictions(),
             window: (from, to),
         }
     }

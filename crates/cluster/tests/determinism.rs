@@ -110,7 +110,7 @@ fn run_digest_lanes(seed: u64, horizon: u64, lanes: usize, faults: bool) -> Stri
     writeln!(
         digest,
         "rdn_packets: {}",
-        sim.world().rdn_metrics.packet_count
+        sim.world().rdn_metrics(0).packet_count
     )
     .unwrap();
     digest

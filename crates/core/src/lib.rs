@@ -19,6 +19,8 @@
 //! * [`node`] — least-loaded RPN selection with outstanding-load tracking,
 //! * [`estimator`] — weighted-average per-request usage prediction,
 //! * [`accounting`] — accounting-cycle reports and balance reconciliation,
+//! * [`merge`] — the conflict-free replicated accounting table peer RDNs
+//!   gossip to survive report loss, duplication and crashes,
 //! * [`conn_table`] — the four-tuple connection table for L2 bridging,
 //! * [`config`] — scheduler tunables and spare-sharing policies.
 //!
@@ -53,6 +55,7 @@ pub mod classify;
 pub mod config;
 pub mod conn_table;
 pub mod estimator;
+pub mod merge;
 pub mod node;
 pub mod queue;
 pub mod resource;
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use crate::config::{SchedulerConfig, SparePolicy};
     pub use crate::conn_table::{ConnTable, Route};
     pub use crate::estimator::UsageEstimator;
+    pub use crate::merge::{AcctRow, AcctTable, UsageCell};
     pub use crate::node::{NodeScheduler, RpnId};
     pub use crate::queue::SubscriberQueues;
     pub use crate::resource::{Grps, ResourceVector};

@@ -315,6 +315,33 @@ impl<R: TraceTag> RequestScheduler<R> {
         }
     }
 
+    /// The GRPS reservation currently in force for `sub`.
+    pub fn reservation(&self, sub: SubscriberId) -> Grps {
+        self.reservations[sub.0 as usize]
+    }
+
+    /// Replaces `sub`'s reservation. Shard ownership changes between peer
+    /// RDNs are expressed this way: a non-owner holds the subscriber at
+    /// `Grps(0.0)` (no reserved credit accrues, spare weight zero), the
+    /// owner at the registered value. If the new owner's reservation sum
+    /// exceeds its capacity share, the next cycle's graceful-degradation
+    /// pass rescales proportionally — the same machinery that covers RPN
+    /// crashes.
+    pub fn set_reservation(&mut self, sub: SubscriberId, reservation: Grps) {
+        self.reservations[sub.0 as usize] = reservation;
+    }
+
+    /// Drains and returns every request queued for `sub`, front first.
+    /// Emits no trace records: the caller owns the requests' fate
+    /// (migration to a peer scheduler, a refusal, …) and traces that.
+    pub fn drain_queue(&mut self, sub: SubscriberId) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.queues.len(sub));
+        while let Some(r) = self.queues.dequeue(sub) {
+            out.push(r);
+        }
+        out
+    }
+
     fn ensure_rpn_arrays(&mut self) {
         let n = self.nodes.rpn_count();
         for acc in &mut self.accounts {

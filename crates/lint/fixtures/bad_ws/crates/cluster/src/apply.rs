@@ -1,0 +1,10 @@
+//! Fixture: fault apply sites for the coverage analysis. `Crash` and
+//! `Recover` are applied here; `Partition` never is.
+
+pub fn apply(ev: FaultEvent) {
+    match ev {
+        FaultEvent::Crash => on_crash(),
+        FaultEvent::Recover => on_recover(),
+        _ => {}
+    }
+}

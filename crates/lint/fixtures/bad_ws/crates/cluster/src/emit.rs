@@ -3,4 +3,6 @@
 pub fn emit_events(t: &Tracer) {
     t.emit(TraceEvent::Emitted);
     t.emit(TraceEvent::NeverConsumed);
+    t.emit(TraceEvent::RpnCrash);
+    t.emit(TraceEvent::PartitionStart);
 }

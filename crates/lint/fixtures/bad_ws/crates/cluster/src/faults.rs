@@ -1,0 +1,7 @@
+//! Fixture: every FaultEvent variant needs an apply site and a trace kind.
+
+pub enum FaultEvent {
+    Crash,
+    Recover,
+    Partition,
+}

@@ -4,10 +4,14 @@ pub enum TraceKind {
     Emitted,
     NeverEmitted,
     NeverConsumed,
+    RpnCrash,
+    PartitionStart,
 }
 
 pub enum TraceEvent {
     Emitted,
     NeverEmitted,
     NeverConsumed,
+    RpnCrash,
+    PartitionStart,
 }

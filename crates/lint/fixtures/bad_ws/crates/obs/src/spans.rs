@@ -18,5 +18,7 @@ pub fn consume(kind: TraceKind) -> u32 {
     match kind {
         TraceKind::Emitted => 1,
         TraceKind::NeverEmitted => 2,
+        TraceKind::RpnCrash => 3,
+        TraceKind::PartitionStart => 4,
     }
 }

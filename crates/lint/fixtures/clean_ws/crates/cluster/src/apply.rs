@@ -1,0 +1,7 @@
+//! Clean fixture: the fault variant has a production apply site.
+
+pub fn apply(ev: FaultEvent) {
+    match ev {
+        FaultEvent::Crash => on_crash(),
+    }
+}

@@ -2,4 +2,5 @@
 
 pub fn emit(t: &Tracer) {
     t.emit(TraceEvent::Served);
+    t.emit(TraceEvent::RpnCrash);
 }

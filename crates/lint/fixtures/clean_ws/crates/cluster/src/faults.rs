@@ -1,0 +1,5 @@
+//! Clean fixture: the only FaultEvent variant is applied and traced.
+
+pub enum FaultEvent {
+    Crash,
+}

@@ -2,8 +2,10 @@
 
 pub enum TraceKind {
     Served,
+    RpnCrash,
 }
 
 pub enum TraceEvent {
     Served,
+    RpnCrash,
 }

@@ -3,5 +3,6 @@
 pub fn consume(kind: TraceKind) -> u32 {
     match kind {
         TraceKind::Served => 1,
+        TraceKind::RpnCrash => 2,
     }
 }

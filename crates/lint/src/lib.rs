@@ -37,6 +37,7 @@
 //! | `lane-shared-state` | interior mutability, statics and TLS reachable from the lane roots (`ClusterSim`, `EventQueue`, `RequestScheduler`) via the struct graph — what would break deterministic parallel lanes (ROADMAP item 2) |
 //! | `rng-stream-discipline` | `SimRng::seed_from` without a named `.split("stream")` derivation outside gage-des; stream labels aliased across two modules |
 //! | `trace-kind-coverage` | `TraceKind` variants with no `TraceEvent` emit site or no reconstructor consumer arm |
+//! | `fault-kind-coverage` | `FaultEvent` variants with no apply site outside the `FaultPlan` builders, or no `TraceKind` variant carrying the fault into the causal record |
 //! | `panic-reachability` | `unwrap`/`expect`/`panic!`-class constructs and literal indexing in callees reachable from the hot-path entry points (`run_cycle_into`, splice remap, `EventQueue::{schedule,pop}`) |
 //!
 //! # Meta-rules
@@ -119,6 +120,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     rules::lane::run(&ws, &mut sink);
     rules::rng::run(&ws, &mut sink);
     rules::trace::run(&ws, &mut sink);
+    rules::fault::run(&ws, &mut sink);
     rules::panics::run(&ws, &mut sink);
     // Meta-rule last: it audits what the sink recorded above.
     rules::allows::run(&ws, &mut sink);

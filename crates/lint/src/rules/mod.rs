@@ -10,6 +10,7 @@ use crate::model::FileModel;
 use crate::Finding;
 
 pub mod allows;
+pub mod fault;
 pub mod lane;
 pub mod manifest;
 pub mod panics;
@@ -92,6 +93,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "trace-kind-coverage",
         summary: "TraceKind variants with no emit site or no spans.rs consumer arm",
+    },
+    RuleInfo {
+        id: "fault-kind-coverage",
+        summary: "FaultEvent variants with no apply site or no matching TraceKind",
     },
     RuleInfo {
         id: "panic-reachability",

@@ -23,7 +23,7 @@ fn any_at(findings: &[Finding], file: &str, line: usize) -> bool {
 
 const CORE_LIB: &str = "crates/core/src/lib.rs";
 const CORE_SCHED: &str = "crates/core/src/scheduler.rs";
-const TOTAL: usize = 42;
+const TOTAL: usize = 44;
 
 #[test]
 fn every_rule_trips_on_the_fixture_corpus() {
@@ -177,6 +177,28 @@ fn trace_kind_coverage_finds_orphans_both_ways() {
 }
 
 #[test]
+fn fault_kind_coverage_finds_orphans_both_ways() {
+    let f = fixture_findings();
+    let faults = "crates/cluster/src/faults.rs";
+    assert!(
+        f.iter().any(|x| x.rule == "fault-kind-coverage"
+            && x.file == faults
+            && x.line == 5
+            && x.message.contains("no matching `TraceKind`")),
+        "applied-but-untraced variant (Recover)"
+    );
+    assert!(
+        f.iter().any(|x| x.rule == "fault-kind-coverage"
+            && x.file == faults
+            && x.line == 6
+            && x.message.contains("no apply site")),
+        "traced-but-unapplied variant (Partition)"
+    );
+    // Crash is applied in apply.rs and covered by TraceKind::RpnCrash.
+    assert!(!any_at(&f, faults, 4), "covered variant is not flagged");
+}
+
+#[test]
 fn panic_reachability_follows_the_call_graph() {
     let f = fixture_findings();
     let cycle = "crates/core/src/cycle.rs";
@@ -281,7 +303,7 @@ fn findings_carry_spans_and_snippets() {
 fn json_report_is_machine_readable() {
     let f = fixture_findings();
     let json = report_json(&f);
-    assert!(json.starts_with("{\n  \"schema\": \"gage-lint-v2\",\n  \"count\": 42,"));
+    assert!(json.starts_with("{\n  \"schema\": \"gage-lint-v2\",\n  \"count\": 44,"));
     assert!(json.contains("\"rule\": \"hot-path-panic\""));
     assert!(json.contains("\"file\": \"crates/core/src/lib.rs\""));
     assert!(json.contains("\"rule\": \"lane-shared-state\""));

@@ -96,6 +96,9 @@ pub struct SubscriberAudit {
     pub sub: u32,
     /// Configured reservation from the dump's `reservation` record, GRPS.
     pub reservation_grps: Option<f64>,
+    /// The RDN shard the subscriber is homed on, from the `reservation`
+    /// record (`None` for pre-shard dumps without the field).
+    pub shard: Option<u16>,
     /// Conservation totals reconstructed from spans — cross-checked
     /// field-for-field against `SubscriberMetrics` by the cluster tests.
     pub totals: SpanTotals,
@@ -181,6 +184,7 @@ impl AuditReport {
                         "reservation_grps",
                         s.reservation_grps.map_or(Json::Null, Json::from),
                     ),
+                    ("shard", s.shard.map_or(Json::Null, Json::from)),
                     ("offered", Json::from(s.totals.offered)),
                     ("served", Json::from(s.totals.served)),
                     ("dropped", Json::from(s.totals.dropped)),
@@ -280,8 +284,8 @@ impl AuditReport {
 /// cycle clock.
 #[derive(Debug, Default)]
 struct ClusterContext {
-    /// `(sub, grps)` from `reservation` records.
-    reservations: Vec<(u32, f64)>,
+    /// `(sub, grps, shard)` from `reservation` records.
+    reservations: Vec<(u32, f64, u16)>,
     /// `(t_ns, scale)` from `reservation_scale` records, in dump order.
     scales: Vec<(u64, f64)>,
     /// `(t_ns, cycle)` from `sched_cycle` records, in dump order.
@@ -303,7 +307,9 @@ impl ClusterContext {
                         rec.get("sub").and_then(Json::as_u64),
                         rec.get("grps").and_then(Json::as_f64),
                     ) {
-                        ctx.reservations.push((sub as u32, grps));
+                        // Additive field: pre-shard dumps default to 0.
+                        let shard = rec.get("shard").and_then(Json::as_u64).unwrap_or(0) as u16;
+                        ctx.reservations.push((sub as u32, grps, shard));
                     }
                 }
                 Some(TraceKind::ReservationScale) => {
@@ -325,8 +331,15 @@ impl ClusterContext {
     fn reservation_of(&self, sub: u32) -> Option<f64> {
         self.reservations
             .iter()
-            .find(|(s, _)| *s == sub)
-            .map(|(_, g)| *g)
+            .find(|(s, _, _)| *s == sub)
+            .map(|(_, g, _)| *g)
+    }
+
+    fn shard_of(&self, sub: u32) -> Option<u16> {
+        self.reservations
+            .iter()
+            .find(|(s, _, _)| *s == sub)
+            .map(|(_, _, shard)| *shard)
     }
 
     /// The smallest reservation scale in effect at any point during
@@ -458,6 +471,7 @@ pub fn audit_records(spans: &SpanReport, records: &[Json], config: &AuditConfig)
         subscribers.push(SubscriberAudit {
             sub,
             reservation_grps: reservation,
+            shard: ctx.shard_of(sub),
             totals,
             latency_ms,
             queue_wait_ms,
@@ -509,7 +523,11 @@ mod tests {
         let t = Tracer::enabled(1 << 10);
         t.emit_at(
             SimTime::from_nanos(0),
-            TraceEvent::Reservation { sub: 0, grps: 10.0 },
+            TraceEvent::Reservation {
+                sub: 0,
+                grps: 10.0,
+                shard: 0,
+            },
         );
         let mut req = 0u64;
         for sec in 0..4u64 {
@@ -578,6 +596,7 @@ mod tests {
             TraceEvent::Reservation {
                 sub: 1,
                 grps: 100.0,
+                shard: 0,
             },
         );
         // One lonely request at t=5s, served promptly: every other window
@@ -599,7 +618,11 @@ mod tests {
         let t = Tracer::enabled(1 << 10);
         t.emit_at(
             SimTime::from_nanos(0),
-            TraceEvent::Reservation { sub: 0, grps: 10.0 },
+            TraceEvent::Reservation {
+                sub: 0,
+                grps: 10.0,
+                shard: 0,
+            },
         );
         // Capacity halves during second 0: entitlement is 5, and serving
         // 5 of 10 offered is then conformant.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gage-audit <path> [--json] [--window SECS] [--tolerance F] [--expect-clean]
+//!           [--shard RDN] [--after SECS]
 //! ```
 //!
 //! Reconstructs every request in the dump into its causal timeline, checks
@@ -10,13 +11,19 @@
 //! reservation, and prints either a human table (default) or the machine
 //! JSON report (`--json`, schema `gage-audit-v1`).
 //!
+//! * `--shard RDN`  scope the report to subscribers homed on one RDN's
+//!   shard (from the dump's `reservation` records);
+//! * `--after SECS` ignore violation runs that *start* before `SECS` —
+//!   the post-heal gate for chaos runs, where windows overlapping an
+//!   injected RDN crash or partition are expected to violate.
+//!
 //! Exit status:
 //!
 //! * non-zero if the dump is malformed, the ring overwrote history, or any
 //!   request fails to reconstruct into exactly one terminal state;
 //! * with `--expect-clean`, additionally non-zero if any request is still
-//!   unterminated or any conformance violation is reported (the CI
-//!   no-fault baseline gate).
+//!   unterminated or any conformance violation is reported (after the
+//!   `--shard`/`--after` filters) — the CI clean-run gate.
 
 use std::process::ExitCode;
 
@@ -26,11 +33,16 @@ struct Opts {
     path: String,
     json: bool,
     expect_clean: bool,
+    shard: Option<u16>,
+    after_ns: Option<u64>,
     config: AuditConfig,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: gage-audit <path> [--json] [--window SECS] [--tolerance F] [--expect-clean]");
+    eprintln!(
+        "usage: gage-audit <path> [--json] [--window SECS] [--tolerance F] [--expect-clean] \
+         [--shard RDN] [--after SECS]"
+    );
     ExitCode::FAILURE
 }
 
@@ -39,6 +51,8 @@ fn parse_args(args: &[String]) -> Option<Opts> {
         path: String::new(),
         json: false,
         expect_clean: false,
+        shard: None,
+        after_ns: None,
         config: AuditConfig::default(),
     };
     let mut it = args.iter();
@@ -46,6 +60,14 @@ fn parse_args(args: &[String]) -> Option<Opts> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--expect-clean" => opts.expect_clean = true,
+            "--shard" => opts.shard = Some(it.next()?.parse().ok()?),
+            "--after" => {
+                let secs: f64 = it.next()?.parse().ok()?;
+                if secs < 0.0 || secs.is_nan() {
+                    return None;
+                }
+                opts.after_ns = Some((secs * 1e9) as u64);
+            }
             "--window" => {
                 let secs: f64 = it.next()?.parse().ok()?;
                 if secs <= 0.0 || secs.is_nan() {
@@ -82,13 +104,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match audit_dump(&text, &opts.config) {
+    let mut report = match audit_dump(&text, &opts.config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("gage-audit: {}: {e}", opts.path);
             return ExitCode::FAILURE;
         }
     };
+    if let Some(shard) = opts.shard {
+        report.subscribers.retain(|s| s.shard == Some(shard));
+        if report.subscribers.is_empty() {
+            eprintln!("gage-audit: no subscriber in the dump is homed on shard {shard}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(after_ns) = opts.after_ns {
+        for s in &mut report.subscribers {
+            s.violations.retain(|v| v.start_ns >= after_ns);
+        }
+    }
     if opts.json {
         println!("{}", report.to_json());
     } else {

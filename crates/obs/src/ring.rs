@@ -220,6 +220,8 @@ pub enum TraceEvent {
         sub: u32,
         /// Reserved general requests per second.
         grps: f64,
+        /// The RDN shard the subscriber is homed on (0 with one RDN).
+        shard: u16,
     },
     /// Periodic snapshot of the DES event queue's operational counters
     /// (emitted every 64th scheduling cycle), so `tracedump --stats` can
@@ -233,6 +235,49 @@ pub enum TraceEvent {
         cancelled: u64,
         /// Lifetime timing-wheel level cascades.
         cascades: u64,
+    },
+    /// A fault plan fail-stopped a front-end RDN: its scheduler state,
+    /// connection routes and accounting epoch are lost; its subscriber
+    /// shard fails over to a surviving peer after the watchdog grace.
+    RdnCrash {
+        /// The crashed front end.
+        rdn: u16,
+    },
+    /// A fault plan rebooted a crashed RDN: fresh scheduler, new
+    /// accounting epoch; its home shard fails back at the next cycle.
+    RdnRecover {
+        /// The recovered front end.
+        rdn: u16,
+    },
+    /// One RDN gossiped its replicated accounting table to a peer.
+    ReportGossip {
+        /// The sending front end.
+        from: u16,
+        /// The receiving front end.
+        to: u16,
+        /// Rows in the gossiped snapshot.
+        rows: u32,
+    },
+    /// A subscriber shard changed owner (failover to a surviving peer, or
+    /// failback to its recovered home RDN).
+    ShardTakeover {
+        /// The shard that moved.
+        shard: u16,
+        /// The previous owner.
+        from: u16,
+        /// The new owner.
+        to: u16,
+        /// Subscribers in the shard.
+        subs: u32,
+    },
+    /// A gossiped accounting snapshot was merged into a peer's table.
+    AcctMerge {
+        /// The merging front end.
+        rdn: u16,
+        /// The snapshot's sender.
+        from: u16,
+        /// Rows the merge actually changed (0 = duplicate delivery).
+        changed: u32,
     },
 }
 
@@ -290,11 +335,21 @@ pub enum TraceKind {
     Reservation,
     /// `queue_stats`
     QueueStats,
+    /// `rdn_crash`
+    RdnCrash,
+    /// `rdn_recover`
+    RdnRecover,
+    /// `report_gossip`
+    ReportGossip,
+    /// `shard_takeover`
+    ShardTakeover,
+    /// `acct_merge`
+    AcctMerge,
 }
 
 impl TraceKind {
     /// Every kind, in declaration order.
-    pub const ALL: [TraceKind; 23] = [
+    pub const ALL: [TraceKind; 28] = [
         TraceKind::SchedCycle,
         TraceKind::Dispatch,
         TraceKind::Enqueue,
@@ -318,6 +373,11 @@ impl TraceKind {
         TraceKind::ReqComplete,
         TraceKind::Reservation,
         TraceKind::QueueStats,
+        TraceKind::RdnCrash,
+        TraceKind::RdnRecover,
+        TraceKind::ReportGossip,
+        TraceKind::ShardTakeover,
+        TraceKind::AcctMerge,
     ];
 
     /// Stable snake_case tag used in dumps and `tracedump` filters.
@@ -346,6 +406,11 @@ impl TraceKind {
             TraceKind::ReqComplete => "req_complete",
             TraceKind::Reservation => "reservation",
             TraceKind::QueueStats => "queue_stats",
+            TraceKind::RdnCrash => "rdn_crash",
+            TraceKind::RdnRecover => "rdn_recover",
+            TraceKind::ReportGossip => "report_gossip",
+            TraceKind::ShardTakeover => "shard_takeover",
+            TraceKind::AcctMerge => "acct_merge",
         }
     }
 
@@ -382,6 +447,11 @@ impl TraceEvent {
             TraceEvent::ReqComplete { .. } => TraceKind::ReqComplete,
             TraceEvent::Reservation { .. } => TraceKind::Reservation,
             TraceEvent::QueueStats { .. } => TraceKind::QueueStats,
+            TraceEvent::RdnCrash { .. } => TraceKind::RdnCrash,
+            TraceEvent::RdnRecover { .. } => TraceKind::RdnRecover,
+            TraceEvent::ReportGossip { .. } => TraceKind::ReportGossip,
+            TraceEvent::ShardTakeover { .. } => TraceKind::ShardTakeover,
+            TraceEvent::AcctMerge { .. } => TraceKind::AcctMerge,
         }
     }
 
@@ -533,9 +603,11 @@ impl TraceEvent {
                 ("req", Json::from(req)),
                 ("rpn", Json::from(rpn)),
             ],
-            TraceEvent::Reservation { sub, grps } => {
-                vec![("sub", Json::from(sub)), ("grps", Json::from(grps))]
-            }
+            TraceEvent::Reservation { sub, grps, shard } => vec![
+                ("sub", Json::from(sub)),
+                ("grps", Json::from(grps)),
+                ("shard", Json::from(shard)),
+            ],
             TraceEvent::QueueStats {
                 depth,
                 scheduled,
@@ -546,6 +618,30 @@ impl TraceEvent {
                 ("scheduled", Json::from(scheduled)),
                 ("cancelled", Json::from(cancelled)),
                 ("cascades", Json::from(cascades)),
+            ],
+            TraceEvent::RdnCrash { rdn } | TraceEvent::RdnRecover { rdn } => {
+                vec![("rdn", Json::from(rdn))]
+            }
+            TraceEvent::ReportGossip { from, to, rows } => vec![
+                ("from", Json::from(from)),
+                ("to", Json::from(to)),
+                ("rows", Json::from(rows)),
+            ],
+            TraceEvent::ShardTakeover {
+                shard,
+                from,
+                to,
+                subs,
+            } => vec![
+                ("shard", Json::from(shard)),
+                ("from", Json::from(from)),
+                ("to", Json::from(to)),
+                ("subs", Json::from(subs)),
+            ],
+            TraceEvent::AcctMerge { rdn, from, changed } => vec![
+                ("rdn", Json::from(rdn)),
+                ("from", Json::from(from)),
+                ("changed", Json::from(changed)),
             ],
         }
     }
@@ -886,12 +982,31 @@ mod tests {
             TraceEvent::Reservation {
                 sub: 0,
                 grps: 150.0,
+                shard: 0,
             },
             TraceEvent::QueueStats {
                 depth: 120,
                 scheduled: 10_000,
                 cancelled: 321,
                 cascades: 42,
+            },
+            TraceEvent::RdnCrash { rdn: 1 },
+            TraceEvent::RdnRecover { rdn: 1 },
+            TraceEvent::ReportGossip {
+                from: 0,
+                to: 1,
+                rows: 12,
+            },
+            TraceEvent::ShardTakeover {
+                shard: 1,
+                from: 1,
+                to: 0,
+                subs: 2,
+            },
+            TraceEvent::AcctMerge {
+                rdn: 0,
+                from: 1,
+                changed: 5,
             },
         ]
     }

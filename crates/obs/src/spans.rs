@@ -270,6 +270,11 @@ pub fn reconstruct_records(records: &[Json]) -> Result<SpanReport, String> {
             TraceKind::ReservationScale => {}
             TraceKind::Reservation => {}
             TraceKind::QueueStats => {}
+            TraceKind::RdnCrash => {}
+            TraceKind::RdnRecover => {}
+            TraceKind::ReportGossip => {}
+            TraceKind::ShardTakeover => {}
+            TraceKind::AcctMerge => {}
             TraceKind::ReqArrival => {
                 let req = u64_field(rec, "req").map_err(&fail)?;
                 let sub = sub_field(rec).map_err(&fail)?;

@@ -192,6 +192,18 @@ pub fn spawn_frontend(cfg: FrontendConfig) -> std::io::Result<FrontendHandle> {
     };
     let mut request_scheduler = RequestScheduler::new(&registry, cfg.scheduler, nodes);
     request_scheduler.set_tracer(tracer.clone());
+    // One `Reservation` record per site up front, mirroring the
+    // simulator: dumps become self-describing for `gage-audit`. The
+    // runtime frontend is a single RDN, so every site is on shard 0.
+    for i in 0..registry.len() {
+        let sub = gage_core::subscriber::SubscriberId(i as u32);
+        let grps = registry.get(sub).expect("registered").reservation.0;
+        tracer.emit(gage_obs::TraceEvent::Reservation {
+            sub: i as u32,
+            grps,
+            shard: 0,
+        });
+    }
     let scheduler: SharedScheduler = Arc::new(Mutex::new(request_scheduler));
     let registry = Arc::new(registry);
     let backends = Arc::new(cfg.backends.clone());
